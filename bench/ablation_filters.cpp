@@ -1,0 +1,88 @@
+// Ablation: which rank filter exposes the attack best? The paper's Fig. 4
+// observes that the MINIMUM filter reveals the embedded target while
+// median and maximum do not (their targets are darker than their carriers
+// on average). This bench quantifies the choice: best achievable training
+// accuracy of the filtering method with min / median / max filters across
+// window sizes, on freshly crafted attacks.
+#include <vector>
+
+#include "attack/scale_attack.h"
+#include "bench_common.h"
+#include "core/calibration.h"
+#include "core/filtering_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "report/table.h"
+
+using namespace decam;
+using namespace decam::core;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  // Fresh crafting per configuration is expensive; default smaller than
+  // the table benches.
+  if (args.config.n_train == 50) args.config.n_train = 24;
+  bench::print_banner("Ablation: rank-filter choice for filtering detection",
+                      args);
+
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = args.config.min_side;
+  params.max_side = args.config.max_side;
+  data::Rng scene_rng(args.config.seed ^ 0xF117E6ull);
+  data::Rng target_rng(args.config.seed ^ 0x7A63E7ull);
+
+  attack::AttackOptions attack_opts;
+  attack_opts.algo = args.config.white_box_algo;
+  attack_opts.eps = args.config.attack_eps;
+
+  std::vector<Image> benign;
+  std::vector<Image> attacks;
+  for (int i = 0; i < args.config.n_train; ++i) {
+    data::Rng sc = scene_rng.fork();
+    data::Rng tc = target_rng.fork();
+    benign.push_back(generate_scene(params, sc));
+    const Image target = data::generate_target(
+        args.config.target_width, args.config.target_height, tc);
+    attacks.push_back(
+        attack::craft_attack(benign.back(), target, attack_opts).image);
+    std::fprintf(stderr, "\r[ablation] crafted %d/%d", i + 1,
+                 args.config.n_train);
+  }
+  std::fprintf(stderr, "\n");
+
+  report::Table table({"Filter", "Window", "Best train acc (MSE)",
+                       "Best train acc (SSIM)"});
+  for (const RankOp op : {RankOp::Min, RankOp::Median, RankOp::Max}) {
+    for (const int window : {2, 3}) {
+      std::vector<double> benign_mse, attack_mse, benign_ssim, attack_ssim;
+      for (std::size_t i = 0; i < benign.size(); ++i) {
+        FilteringDetectorConfig mse_config{window, op, Metric::MSE};
+        FilteringDetectorConfig ssim_config{window, op, Metric::SSIM};
+        const FilteringDetector mse_det{mse_config};
+        const FilteringDetector ssim_det{ssim_config};
+        benign_mse.push_back(mse_det.score(benign[i]));
+        attack_mse.push_back(mse_det.score(attacks[i]));
+        benign_ssim.push_back(ssim_det.score(benign[i]));
+        attack_ssim.push_back(ssim_det.score(attacks[i]));
+      }
+      const double acc_mse =
+          calibrate_white_box(benign_mse, attack_mse).calibration
+              .train_accuracy;
+      const double acc_ssim =
+          calibrate_white_box(benign_ssim, attack_ssim).calibration
+              .train_accuracy;
+      const char* name = op == RankOp::Min
+                             ? "minimum"
+                             : (op == RankOp::Median ? "median" : "maximum");
+      table.add_row({name, std::to_string(window) + "x" + std::to_string(window),
+                     report::format_percent(acc_mse),
+                     report::format_percent(acc_ssim)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper shape (Fig. 4): the minimum filter reveals the embedded "
+      "target; median/maximum are weaker. (With symmetric bright/dark "
+      "targets min and max converge — the paper's targets skew dark.)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Ablation: Xiao et al.'s color-histogram detection suggestion and the
+// adaptive attack that defeats it (Quiring et al.'s observation, echoed by
+// the paper's related-work discussion). The adaptive attacker picks a
+// HISTOGRAM-MATCHED target: a random spatial shuffle of the source's own
+// downscale. The content the model sees is destroyed (wrong image), the
+// histogram is (nearly) identical — so the histogram detector loses most
+// of its signal while Decamouflage's scaling method still fires. Expected
+// shape: the histogram AUC drops markedly under the adaptive attack while
+// scaling-MSE stays at ~1.0. (The drop is partial rather than total here
+// because the QP's minimal-norm perturbation itself leaves a small
+// histogram footprint; Quiring et al.'s fully adaptive variant constrains
+// that away inside the optimisation.)
+#include <algorithm>
+
+#include "attack/scale_attack.h"
+#include "bench_common.h"
+#include "core/calibration.h"
+#include "core/histogram_detector.h"
+#include "core/roc.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "report/table.h"
+
+using namespace decam;
+using namespace decam::core;
+
+namespace {
+
+// Histogram-preserving target: the source's own downscale, spatially
+// shuffled. Same pixels (same histogram), different image.
+Image shuffled_downscale(const Image& source, int tw, int th, ScaleAlgo algo,
+                         data::Rng& rng) {
+  Image down = resize(source, tw, th, algo).clamp();
+  for (int c = 0; c < down.channels(); ++c) {
+    auto plane = down.plane(c);
+    for (std::size_t i = plane.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.next_int(0, static_cast<int>(i) - 1));
+      std::swap(plane[i - 1], plane[j]);
+    }
+  }
+  return down;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.config.n_train == 50) args.config.n_train = 20;
+  bench::print_banner(
+      "Ablation: histogram baseline vs the histogram-matched adaptive attack",
+      args);
+
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = args.config.min_side;
+  params.max_side = args.config.max_side;
+  data::Rng scene_rng(args.config.seed ^ 0x6157A6ull);
+  data::Rng target_rng(args.config.seed ^ 0x7A63E7ull);
+  data::Rng shuffle_rng(args.config.seed ^ 0x5BAFF1Eull);
+
+  attack::AttackOptions attack_opts;
+  attack_opts.algo = args.config.white_box_algo;
+  attack_opts.eps = args.config.attack_eps;
+
+  HistogramDetectorConfig hist_config;
+  hist_config.down_width = args.config.target_width;
+  hist_config.down_height = args.config.target_height;
+  hist_config.algo = args.config.white_box_algo;
+  const HistogramDetector hist{hist_config};
+
+  ScalingDetectorConfig scaling_config;
+  scaling_config.down_width = args.config.target_width;
+  scaling_config.down_height = args.config.target_height;
+  scaling_config.down_algo = scaling_config.up_algo =
+      args.config.white_box_algo;
+  scaling_config.metric = Metric::MSE;
+  const ScalingDetector scaling{scaling_config};
+
+  const SteganalysisDetector steg{};
+
+  std::vector<double> hist_benign, hist_plain, hist_adaptive;
+  std::vector<double> mse_benign, mse_plain, mse_adaptive;
+  std::vector<double> csp_benign, csp_plain, csp_adaptive;
+  for (int i = 0; i < args.config.n_train; ++i) {
+    data::Rng sc = scene_rng.fork();
+    data::Rng tc = target_rng.fork();
+    const Image scene = generate_scene(params, sc);
+    const Image plain_target = data::generate_target(
+        args.config.target_width, args.config.target_height, tc);
+    const Image adaptive_target = shuffled_downscale(
+        scene, args.config.target_width, args.config.target_height,
+        args.config.white_box_algo, shuffle_rng);
+    const Image plain =
+        attack::craft_attack(scene, plain_target, attack_opts).image;
+    const Image adaptive =
+        attack::craft_attack(scene, adaptive_target, attack_opts).image;
+    hist_benign.push_back(hist.score(scene));
+    hist_plain.push_back(hist.score(plain));
+    hist_adaptive.push_back(hist.score(adaptive));
+    mse_benign.push_back(scaling.score(scene));
+    mse_plain.push_back(scaling.score(plain));
+    mse_adaptive.push_back(scaling.score(adaptive));
+    csp_benign.push_back(steg.score(scene));
+    csp_plain.push_back(steg.score(plain));
+    csp_adaptive.push_back(steg.score(adaptive));
+    std::fprintf(stderr, "\r[ablation] %d/%d", i + 1, args.config.n_train);
+  }
+  std::fprintf(stderr, "\n");
+
+  // AUC is threshold-free: with small sample counts the white-box search
+  // would overfit and overstate the weak baseline.
+  auto auc = [](const std::vector<double>& benign,
+                const std::vector<double>& attack, Polarity polarity) {
+    return roc_curve(benign, attack, polarity).auc;
+  };
+  report::Table table({"Detector", "Plain attack AUC", "Adaptive attack AUC"});
+  table.add_row(
+      {"histogram intersection (Xiao)",
+       report::format_double(
+           auc(hist_benign, hist_plain, Polarity::LowIsAttack), 3),
+       report::format_double(
+           auc(hist_benign, hist_adaptive, Polarity::LowIsAttack), 3)});
+  table.add_row(
+      {"Decamouflage scaling/MSE",
+       report::format_double(
+           auc(mse_benign, mse_plain, Polarity::HighIsAttack), 3),
+       report::format_double(
+           auc(mse_benign, mse_adaptive, Polarity::HighIsAttack), 3)});
+  table.add_row(
+      {"Decamouflage steganalysis/CSP",
+       report::format_double(
+           auc(csp_benign, csp_plain, Polarity::HighIsAttack), 3),
+       report::format_double(
+           auc(csp_benign, csp_adaptive, Polarity::HighIsAttack), 3)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape: the histogram-matched attack degrades the histogram baseline "
+      "(its AUC drops below the structural methods') while scaling/MSE "
+      "holds at ~1.0 — the residual histogram signal comes from the "
+      "perturbation itself, which a fully adaptive attacker (Quiring et "
+      "al.: histogram constraints inside the QP) can also remove. CSP "
+      "weakens too: a shuffled-downscale target has a flat spectrum, so "
+      "its harmonic copies are faint — another reason the paper majority-"
+      "votes structural methods instead of trusting any single signal.\n");
+  return 0;
+}

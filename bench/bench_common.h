@@ -1,0 +1,80 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench runs the same two-stage experiment through
+// core::run_experiment (cached on disk, so the first binary in a `for b in
+// build/bench/*` sweep pays the dataset/attack generation cost and the
+// rest reuse it), then prints its table or figure from the cached scores.
+//
+// Flags (all optional):
+//   --n <count>      images per class per split (default 50)
+//   --seed <u64>     dataset seed (default 42)
+//   --quick          miniature run (n=12, small scenes) for smoke tests
+//   --no-cache       recompute instead of using the score cache
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/calibration.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+
+namespace decam::bench {
+
+struct BenchArgs {
+  core::ExperimentConfig config;
+  bool use_cache = true;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  args.config.n_train = 50;
+  args.config.n_eval = 50;
+  args.config.target_width = 96;
+  args.config.target_height = 96;
+  args.config.min_side = 256;
+  args.config.max_side = 512;
+  args.config.seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      args.config.n_train = args.config.n_eval = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.config.n_train = args.config.n_eval = 12;
+      args.config.target_width = args.config.target_height = 32;
+      args.config.min_side = 128;
+      args.config.max_side = 192;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      args.use_cache = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n N] [--seed S] [--quick] [--no-cache]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline core::ExperimentData load_data(const BenchArgs& args) {
+  return core::run_experiment(
+      args.config,
+      args.use_cache ? core::default_cache_dir() : std::filesystem::path{});
+}
+
+inline void print_banner(const char* title, const BenchArgs& args) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "config: n_train=%d n_eval=%d scenes=%d-%dpx target=%dx%d "
+      "pipeline=%s eps=%.1f seed=%llu\n\n",
+      args.config.n_train, args.config.n_eval, args.config.min_side,
+      args.config.max_side, args.config.target_width,
+      args.config.target_height, to_string(args.config.white_box_algo),
+      args.config.attack_eps,
+      static_cast<unsigned long long>(args.config.seed));
+}
+
+}  // namespace decam::bench

@@ -1,0 +1,104 @@
+// Extension: attack fragility under benign geometric jitter. The payload
+// of an image-scaling attack sits at exact sampling-grid positions, so a
+// transformation that SHIFTS the grid — a 1-2 px crop — destroys it while
+// barely affecting benign content. A horizontal flip, by contrast, maps
+// the grid onto itself (our kernels are symmetric), so the payload
+// survives in mirrored form: reflection is NOT a defence. Grid-shifting
+// jitter is the zero-cost hardening step a service can run IN ADDITION to
+// Decamouflage, and the same grid ownership is why attackers cannot
+// jitter their way around the steganalysis detector.
+#include "attack/scale_attack.h"
+#include "bench_common.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "imaging/transform.h"
+#include "metrics/mse.h"
+#include "report/table.h"
+
+using namespace decam;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.config.n_train == 50) args.config.n_train = 16;
+  bench::print_banner("Extension: attack fragility under geometric jitter",
+                      args);
+
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = args.config.min_side;
+  params.max_side = args.config.max_side;
+
+  struct Jitter {
+    const char* label;
+    Image (*apply)(const Image&);
+  };
+  const Jitter jitters[] = {
+      {"none", +[](const Image& img) { return img; }},
+      {"crop 1px (top-left)",
+       +[](const Image& img) {
+         return crop(img, 1, 1, img.width() - 1, img.height() - 1);
+       }},
+      {"crop 2px (centered)",
+       +[](const Image& img) {
+         return crop(img, 2, 2, img.width() - 4, img.height() - 4);
+       }},
+      {"horizontal flip", +[](const Image& img) {
+         return flip_horizontal(img);
+       }},
+  };
+
+  attack::AttackOptions options;
+  options.algo = args.config.white_box_algo;
+  options.eps = args.config.attack_eps;
+
+  report::Table table({"Jitter", "mean MSE(scale(jitter(A)), T)",
+                       "mean MSE(scale(jitter(O)), scale(O))",
+                       "payload survives?"});
+  for (const Jitter& jitter : jitters) {
+    data::Rng scene_rng(args.config.seed ^ 0xF6A617ull);
+    data::Rng target_rng(args.config.seed ^ 0x7A63E7ull);
+    double attack_error = 0.0;
+    double benign_shift = 0.0;
+    for (int i = 0; i < args.config.n_train; ++i) {
+      data::Rng sc = scene_rng.fork();
+      data::Rng tc = target_rng.fork();
+      const Image scene = generate_scene(params, sc);
+      const Image target = data::generate_target(
+          args.config.target_width, args.config.target_height, tc);
+      const attack::AttackResult result =
+          attack::craft_attack(scene, target, options);
+      // For the flipped case, compare against the flipped target (the
+      // content is mirrored, not destroyed, for benign images).
+      const Image jittered_attack = jitter.apply(result.image);
+      const Image attack_view =
+          resize(jittered_attack, args.config.target_width,
+                 args.config.target_height, options.algo);
+      const bool is_flip = std::string(jitter.label) == "horizontal flip";
+      attack_error += mse(attack_view,
+                          is_flip ? flip_horizontal(target) : target);
+      const Image benign_view = resize(scene, args.config.target_width,
+                                       args.config.target_height,
+                                       options.algo);
+      const Image jittered_benign_view =
+          resize(jitter.apply(scene), args.config.target_width,
+                 args.config.target_height, options.algo);
+      benign_shift += mse(is_flip ? flip_horizontal(jittered_benign_view)
+                                  : jittered_benign_view,
+                          benign_view);
+      std::fprintf(stderr, "\r[fragility] %s %d/%d       ", jitter.label,
+                   i + 1, args.config.n_train);
+    }
+    const double n = args.config.n_train;
+    table.add_row({jitter.label, report::format_double(attack_error / n, 1),
+                   report::format_double(benign_shift / n, 1),
+                   attack_error / n < 100.0 ? "YES" : "no"});
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape: a 1-2px crop wrecks the payload (huge MSE to the target) "
+      "while the benign view shifts only slightly; the horizontal flip "
+      "maps the symmetric sampling grid onto itself, so the payload "
+      "survives mirrored — grid-SHIFTING jitter is the effective hardening "
+      "step. The sampling grid belongs to the service, not the attacker.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Extension: benign post-processing robustness. Real upload pipelines
+// recompress (JPEG), denoise (blur) and perturb images before the CNN ever
+// sees them. Two questions matter for deploying Decamouflage:
+//
+//   1. Does benign post-processing push BENIGN images over the detection
+//      thresholds (spurious FRR)? It must not, or every recompressed
+//      upload gets rejected.
+//   2. Does the ATTACK survive the same post-processing? Empirically YES
+//      for moderate recompression (the payload degrades gracefully, like
+//      ordinary content) — recompression is NOT a defence; only
+//      aggressive quality loss or blur dissolves the payload. Detection
+//      therefore stays necessary even behind lossy upload pipelines.
+#include "attack/scale_attack.h"
+#include "bench_common.h"
+#include "core/filtering_detector.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "imaging/filter.h"
+#include "imaging/jpeg_sim.h"
+#include "metrics/mse.h"
+#include "report/table.h"
+
+using namespace decam;
+using namespace decam::core;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.config.n_train == 50) args.config.n_train = 12;
+  bench::print_banner("Extension: post-processing robustness", args);
+
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = args.config.min_side;
+  params.max_side = args.config.max_side;
+
+  ScalingDetectorConfig scaling_config;
+  scaling_config.down_width = args.config.target_width;
+  scaling_config.down_height = args.config.target_height;
+  scaling_config.metric = Metric::MSE;
+  const ScalingDetector scaling{scaling_config};
+  const SteganalysisDetector steg{};
+
+  struct Post {
+    const char* label;
+    Image (*apply)(const Image&);
+  };
+  const Post posts[] = {
+      {"none", +[](const Image& img) { return img; }},
+      {"JPEG q90", +[](const Image& img) { return jpeg_roundtrip(img, 90); }},
+      {"JPEG q60", +[](const Image& img) { return jpeg_roundtrip(img, 60); }},
+      {"JPEG q10", +[](const Image& img) { return jpeg_roundtrip(img, 10); }},
+      {"gaussian blur 0.8",
+       +[](const Image& img) { return gaussian_blur(img, 0.8); }},
+  };
+
+  attack::AttackOptions attack_options;
+  attack_options.algo = args.config.white_box_algo;
+  attack_options.eps = args.config.attack_eps;
+
+  report::Table table({"Post-processing", "benign scaling MSE",
+                       "benign CSP>1 rate", "attack payload MSE",
+                       "payload survives?"});
+  for (const Post& post : posts) {
+    data::Rng scene_rng(args.config.seed ^ 0x90573ull);
+    data::Rng target_rng(args.config.seed ^ 0x7A63E7ull);
+    double benign_score = 0.0;
+    int benign_csp_multi = 0;
+    double payload_error = 0.0;
+    for (int i = 0; i < args.config.n_train; ++i) {
+      data::Rng sc = scene_rng.fork();
+      data::Rng tc = target_rng.fork();
+      const Image scene = generate_scene(params, sc);
+      const Image target = data::generate_target(
+          args.config.target_width, args.config.target_height, tc);
+      const Image processed_benign = post.apply(scene);
+      benign_score += scaling.score(processed_benign);
+      if (steg.count_csp(processed_benign) > 1) ++benign_csp_multi;
+      const attack::AttackResult result =
+          attack::craft_attack(scene, target, attack_options);
+      const Image processed_attack = post.apply(result.image);
+      payload_error += mse(resize(processed_attack, args.config.target_width,
+                                  args.config.target_height,
+                                  attack_options.algo),
+                           target);
+      std::fprintf(stderr, "\r[postproc] %s %d/%d     ", post.label, i + 1,
+                   args.config.n_train);
+    }
+    const double n = args.config.n_train;
+    table.add_row({post.label, report::format_double(benign_score / n, 2),
+                   report::format_percent(benign_csp_multi / n),
+                   report::format_double(payload_error / n, 1),
+                   payload_error / n < 100.0 ? "YES" : "no"});
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape: benign scores stay orders of magnitude below the attack "
+      "regime (no spurious rejections from recompression), while the "
+      "attack payload survives moderate JPEG and only dissolves at "
+      "aggressive quality loss — recompression alone is NOT a defence, "
+      "which is why detection is needed even behind lossy pipelines.\n");
+  return 0;
+}

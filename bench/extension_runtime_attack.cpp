@@ -1,0 +1,62 @@
+// Extension: the ATTACKER's run-time cost. The paper measures the
+// defender's overhead (Table 7); the other side of the ledger is what
+// crafting an attack costs — the nearest-neighbour closed form is
+// instantaneous while the QP-based variants pay per pixel column/row.
+// Useful for sizing both red-team tooling and the plausibility of
+// high-volume poisoning campaigns.
+#include <benchmark/benchmark.h>
+
+#include "attack/scale_attack.h"
+#include "data/rng.h"
+#include "data/synth.h"
+
+namespace {
+
+using namespace decam;
+
+const Image& source_image() {
+  static const Image image = [] {
+    data::SceneParams params = data::scene_params(data::Regime::A);
+    params.min_side = params.max_side = 448;
+    data::Rng rng(11);
+    return generate_scene(params, rng);
+  }();
+  return image;
+}
+
+const Image& target_image() {
+  static const Image image = [] {
+    data::Rng rng(12);
+    return data::generate_target(112, 112, rng);
+  }();
+  return image;
+}
+
+void run_attack(benchmark::State& state, ScaleAlgo algo) {
+  attack::AttackOptions options;
+  options.algo = algo;
+  options.eps = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack::craft_attack(source_image(), target_image(), options));
+  }
+}
+
+void BM_CraftNearest(benchmark::State& state) {
+  run_attack(state, ScaleAlgo::Nearest);
+}
+BENCHMARK(BM_CraftNearest)->Unit(benchmark::kMillisecond);
+
+void BM_CraftBilinear(benchmark::State& state) {
+  run_attack(state, ScaleAlgo::Bilinear);
+}
+BENCHMARK(BM_CraftBilinear)->Unit(benchmark::kMillisecond);
+
+void BM_CraftBicubic(benchmark::State& state) {
+  run_attack(state, ScaleAlgo::Bicubic);
+}
+BENCHMARK(BM_CraftBicubic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

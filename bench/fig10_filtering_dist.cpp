@@ -1,0 +1,50 @@
+// Reproduces Figure 10 of the paper: white-box score distributions for the
+// filtering detection method (2x2 minimum filter), MSE and SSIM, threshold
+// marked. Expected shape: separated modes, with somewhat more proximity in
+// MSE than the scaling method showed (the paper notes a small overlap).
+#include "bench_common.h"
+#include "report/histogram_ascii.h"
+
+using namespace decam;
+using namespace decam::core;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 10: filtering-detection score distributions (white-box)",
+      args);
+  const ExperimentData data = bench::load_data(args);
+
+  {
+    const auto benign =
+        ExperimentData::column(data.train_benign, &ScoreRow::filtering_mse);
+    const auto attack =
+        ExperimentData::column(data.train_attack, &ScoreRow::filtering_mse);
+    const WhiteBoxResult wb = calibrate_white_box(benign, attack);
+    report::HistogramOptions options;
+    options.bins = 26;
+    options.log_x = true;
+    options.threshold = wb.calibration.threshold;
+    std::printf("MSE(I, F) distribution  [threshold %.2f]\n%s\n",
+                wb.calibration.threshold,
+                report::render_histogram(benign, attack, options).c_str());
+  }
+  {
+    const auto benign =
+        ExperimentData::column(data.train_benign, &ScoreRow::filtering_ssim);
+    const auto attack =
+        ExperimentData::column(data.train_attack, &ScoreRow::filtering_ssim);
+    const WhiteBoxResult wb = calibrate_white_box(benign, attack);
+    report::HistogramOptions options;
+    options.bins = 26;
+    options.threshold = wb.calibration.threshold;
+    std::printf("SSIM(I, F) distribution  [threshold %.4f]\n%s\n",
+                wb.calibration.threshold,
+                report::render_histogram(benign, attack, options).c_str());
+  }
+  std::printf(
+      "Paper shape: separable with thresholds MSE 5682.79 and SSIM 0.38 on "
+      "its datasets; MSE shows slight class overlap, SSIM separates "
+      "cleanly.\n");
+  return 0;
+}

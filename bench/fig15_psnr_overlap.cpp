@@ -1,0 +1,73 @@
+// Reproduces Appendix Figures 15/16 of the paper: PSNR histograms for the
+// scaling and filtering methods, demonstrating the NEGATIVE result that
+// PSNR does not separate benign from attack images as well as MSE/SSIM —
+// peak errors dominate the ratio. We also print the best achievable
+// training accuracy per metric so the gap is quantified, not eyeballed.
+#include "bench_common.h"
+#include "report/histogram_ascii.h"
+#include "report/table.h"
+
+using namespace decam;
+using namespace decam::core;
+
+namespace {
+
+double best_accuracy(const std::vector<double>& benign,
+                     const std::vector<double>& attack) {
+  return calibrate_white_box(benign, attack).calibration.train_accuracy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figures 15/16 (appendix): PSNR as a detection metric", args);
+  const ExperimentData data = bench::load_data(args);
+
+  for (const auto& [label, member] :
+       {std::pair{"scaling", &ScoreRow::scaling_psnr},
+        std::pair{"filtering", &ScoreRow::filtering_psnr}}) {
+    const auto benign = ExperimentData::column(data.train_benign, member);
+    const auto attack = ExperimentData::column(data.train_attack, member);
+    report::HistogramOptions options;
+    options.bins = 26;
+    std::printf("PSNR histogram, %s method:\n%s\n", label,
+                report::render_histogram(benign, attack, options).c_str());
+  }
+
+  report::Table table({"Method", "Metric", "Best training accuracy"});
+  table.add_row({"scaling", "MSE",
+                 report::format_percent(best_accuracy(
+                     ExperimentData::column(data.train_benign,
+                                            &ScoreRow::scaling_mse),
+                     ExperimentData::column(data.train_attack,
+                                            &ScoreRow::scaling_mse)))});
+  table.add_row({"scaling", "PSNR",
+                 report::format_percent(best_accuracy(
+                     ExperimentData::column(data.train_benign,
+                                            &ScoreRow::scaling_psnr),
+                     ExperimentData::column(data.train_attack,
+                                            &ScoreRow::scaling_psnr)))});
+  table.add_row({"filtering", "SSIM",
+                 report::format_percent(best_accuracy(
+                     ExperimentData::column(data.train_benign,
+                                            &ScoreRow::filtering_ssim),
+                     ExperimentData::column(data.train_attack,
+                                            &ScoreRow::filtering_ssim)))});
+  table.add_row({"filtering", "PSNR",
+                 report::format_percent(best_accuracy(
+                     ExperimentData::column(data.train_benign,
+                                            &ScoreRow::filtering_psnr),
+                     ExperimentData::column(data.train_attack,
+                                            &ScoreRow::filtering_psnr)))});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper shape: PSNR's benign and attack histograms overlap heavily, so "
+      "the paper does not recommend PSNR for Decamouflage. Note: PSNR is a "
+      "monotone transform of MSE per image pair, so its best achievable "
+      "accuracy equals MSE's on the same scores; the paper's observed "
+      "overlap reflects threshold instability (the decision boundary falls "
+      "in a dense region), which is what the histograms show.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 8 of the paper (score distributions for the scaling
+// detection method in the white-box setting): MSE and SSIM histograms of
+// 50/50 (or --n) benign vs attack images with the selected threshold
+// marked. Expected shape: two cleanly separated modes per metric.
+#include "bench_common.h"
+#include "report/histogram_ascii.h"
+
+using namespace decam;
+using namespace decam::core;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 8: scaling-detection score distributions (white-box)", args);
+  const ExperimentData data = bench::load_data(args);
+
+  {
+    const auto benign =
+        ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse);
+    const auto attack =
+        ExperimentData::column(data.train_attack, &ScoreRow::scaling_mse);
+    const WhiteBoxResult wb = calibrate_white_box(benign, attack);
+    report::HistogramOptions options;
+    options.bins = 26;
+    options.log_x = true;  // benign ~O(10), attack ~O(10^3..10^4)
+    options.threshold = wb.calibration.threshold;
+    std::printf("MSE(I, S) distribution  [threshold %.2f]\n%s\n",
+                wb.calibration.threshold,
+                report::render_histogram(benign, attack, options).c_str());
+  }
+  {
+    const auto benign =
+        ExperimentData::column(data.train_benign, &ScoreRow::scaling_ssim);
+    const auto attack =
+        ExperimentData::column(data.train_attack, &ScoreRow::scaling_ssim);
+    const WhiteBoxResult wb = calibrate_white_box(benign, attack);
+    report::HistogramOptions options;
+    options.bins = 26;
+    options.threshold = wb.calibration.threshold;
+    std::printf("SSIM(I, S) distribution  [threshold %.4f]\n%s\n",
+                wb.calibration.threshold,
+                report::render_histogram(benign, attack, options).c_str());
+  }
+  std::printf(
+      "Paper shape: benign and attack modes are disjoint for both metrics; "
+      "the paper's thresholds on its datasets were MSE 1714.96 and SSIM "
+      "0.61.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 6 of the paper: the steganalysis (CSP) detection
+// method. The white-box rows confirm that the fixed threshold CSP >= 2
+// emerges from the data; the black-box row demonstrates the paper's
+// observation that the SAME fixed threshold needs no calibration at all.
+#include "bench_common.h"
+#include "core/evaluation.h"
+#include "report/table.h"
+
+using namespace decam;
+using namespace decam::core;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner("Table 6: steganalysis detection (CSP)", args);
+  const ExperimentData data = bench::load_data(args);
+
+  // The paper fixes the threshold at 2 centered spectrum points; we also
+  // show the white-box search lands on (or next to) the same value.
+  const WhiteBoxResult wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::csp),
+      ExperimentData::column(data.train_attack, &ScoreRow::csp));
+  std::printf("White-box search suggests threshold %.1f (polarity: %s).\n\n",
+              wb.calibration.threshold,
+              wb.calibration.polarity == Polarity::HighIsAttack
+                  ? "high-is-attack"
+                  : "low-is-attack");
+
+  const Calibration fixed{2.0, Polarity::HighIsAttack, 0.0};
+  report::Table table({"Setting", "Threshold", "Acc.", "Prec.", "Rec.",
+                       "FAR", "FRR"});
+  struct Row {
+    const char* label;
+    const std::vector<ScoreRow>* benign;
+    const std::vector<ScoreRow>* attack;
+  };
+  const Row rows[] = {
+      {"calibration set", &data.train_benign, &data.train_attack},
+      {"unseen, white-box attacks", &data.eval_benign,
+       &data.eval_attack_white},
+      {"unseen, black-box attacks", &data.eval_benign,
+       &data.eval_attack_black}};
+  for (const Row& row : rows) {
+    const DetectionStats stats =
+        evaluate(ExperimentData::column(*row.benign, &ScoreRow::csp),
+                 ExperimentData::column(*row.attack, &ScoreRow::csp), fixed);
+    table.add_row({row.label, "CSP >= 2",
+                   report::format_percent(stats.accuracy()),
+                   report::format_percent(stats.precision()),
+                   report::format_percent(stats.recall()),
+                   report::format_percent(stats.far()),
+                   report::format_percent(stats.frr())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper reports: 98.9%% acc with FAR 0.3%% and FRR 1.7%%, identical "
+      "in the white-box and black-box settings because the threshold is "
+      "fixed at 2.\n");
+  return 0;
+}

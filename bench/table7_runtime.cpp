@@ -1,0 +1,83 @@
+// Reproduces Table 7 of the paper: per-image run-time overhead of each
+// detection method x metric, measured with google-benchmark on a fixed
+// synthetic scene. Absolute milliseconds depend on the host CPU; the shape
+// to reproduce is the ordering CSP << MSE variants << SSIM variants (the
+// paper measures 3 ms / ~11 ms / ~137-174 ms on an i5-7500).
+#include <benchmark/benchmark.h>
+
+#include "core/filtering_detector.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+
+namespace {
+
+using namespace decam;
+
+// One representative input image, shared across all benchmarks: scenes in
+// the paper's evaluation average several hundred pixels per side.
+const Image& test_image() {
+  static const Image image = [] {
+    data::SceneParams params = data::scene_params(data::Regime::A);
+    params.min_side = params.max_side = 448;
+    data::Rng rng(7);
+    return generate_scene(params, rng);
+  }();
+  return image;
+}
+
+core::ScalingDetectorConfig scaling_config(core::Metric metric) {
+  core::ScalingDetectorConfig config;
+  config.down_width = config.down_height = 224;
+  config.metric = metric;
+  return config;
+}
+
+void BM_ScalingMse(benchmark::State& state) {
+  const core::ScalingDetector detector{scaling_config(core::Metric::MSE)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(test_image()));
+  }
+}
+BENCHMARK(BM_ScalingMse)->Unit(benchmark::kMillisecond);
+
+void BM_ScalingSsim(benchmark::State& state) {
+  const core::ScalingDetector detector{scaling_config(core::Metric::SSIM)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(test_image()));
+  }
+}
+BENCHMARK(BM_ScalingSsim)->Unit(benchmark::kMillisecond);
+
+void BM_FilteringMse(benchmark::State& state) {
+  core::FilteringDetectorConfig config;
+  config.metric = core::Metric::MSE;
+  const core::FilteringDetector detector{config};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(test_image()));
+  }
+}
+BENCHMARK(BM_FilteringMse)->Unit(benchmark::kMillisecond);
+
+void BM_FilteringSsim(benchmark::State& state) {
+  core::FilteringDetectorConfig config;
+  config.metric = core::Metric::SSIM;
+  const core::FilteringDetector detector{config};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(test_image()));
+  }
+}
+BENCHMARK(BM_FilteringSsim)->Unit(benchmark::kMillisecond);
+
+void BM_SteganalysisCsp(benchmark::State& state) {
+  const core::SteganalysisDetector detector{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(test_image()));
+  }
+}
+BENCHMARK(BM_SteganalysisCsp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+# CTest driver exercising the decamctl binary end to end:
+#   quickstart writes scene/target PPMs -> craft -> scan both images.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+get_filename_component(EXAMPLES_DIR ${DECAMCTL} DIRECTORY)
+
+# 1. Produce input images with the quickstart example (writes PPMs).
+execute_process(COMMAND ${EXAMPLES_DIR}/quickstart 3
+                WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart failed: ${rc}")
+endif()
+
+set(SCENE ${WORK_DIR}/quickstart_out/scene.ppm)
+set(TARGET ${WORK_DIR}/quickstart_out/target.ppm)
+
+# 2. Craft an attack from the CLI.
+execute_process(COMMAND ${DECAMCTL} craft ${SCENE} ${TARGET}
+                        ${WORK_DIR}/attack.ppm --width 112 --height 112
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decamctl craft failed: ${rc}")
+endif()
+
+# 3. Calibrate on the benign scene (tiny profile, generous percentile).
+execute_process(COMMAND ${DECAMCTL} calibrate ${SCENE}
+                        --out ${WORK_DIR}/profile.calib
+                        --width 112 --height 112 --percentile 40 --margin 8
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decamctl calibrate failed: ${rc}")
+endif()
+
+# 4. Scan: the attack must be flagged (exit 3), the scene accepted (exit 0).
+execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/attack.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "decamctl scan should flag the attack, got: ${rc}")
+endif()
+
+# Scan a DIFFERENT benign-like image than the calibration sample (a single
+# sample sits exactly on its own percentile threshold; --margin widens the
+# thresholds away from the benign side for such tiny calibration sets).
+execute_process(COMMAND ${DECAMCTL} scan
+                        ${WORK_DIR}/quickstart_out/attack_roundtrip.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decamctl scan rejected a benign-like image: ${rc}")
+endif()
+
+# 5. Spectrum + downscale commands produce output files.
+execute_process(COMMAND ${DECAMCTL} spectrum ${WORK_DIR}/attack.ppm
+                        ${WORK_DIR}/spec.pgm RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decamctl spectrum failed: ${rc}")
+endif()
+execute_process(COMMAND ${DECAMCTL} downscale ${WORK_DIR}/attack.ppm
+                        ${WORK_DIR}/view.ppm --width 112 --height 112
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decamctl downscale failed: ${rc}")
+endif()
+foreach(artifact spec.pgm view.ppm attack.ppm profile.calib)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "missing artifact ${artifact}")
+  endif()
+endforeach()
+message(STATUS "decamctl end-to-end OK")

@@ -1,0 +1,35 @@
+#include "attack/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attack/critical_pixels.h"
+
+namespace decam::attack {
+
+AttackResult noise_masked_attack(const Image& source, const Image& target,
+                                 const NoiseMaskOptions& options) {
+  DECAM_REQUIRE(options.noise_amplitude >= 0.0,
+                "noise amplitude must be non-negative");
+  AttackResult result = craft_attack(source, target, options.base);
+  const Image mask =
+      critical_mask(source.width(), source.height(), target.width(),
+                    target.height(), options.base.algo);
+  data::Rng rng(options.seed);
+  for (int c = 0; c < result.image.channels(); ++c) {
+    for (int y = 0; y < result.image.height(); ++y) {
+      for (int x = 0; x < result.image.width(); ++x) {
+        if (mask.at(x, y, 0) != 0.0f) continue;  // scaler reads this pixel
+        float& v = result.image.at(x, y, c);
+        v += static_cast<float>(rng.next_range(-options.noise_amplitude,
+                                               options.noise_amplitude));
+        v = std::round(std::clamp(v, 0.0f, 255.0f));
+      }
+    }
+  }
+  result.report =
+      assess_attack(result.image, source, target, options.base);
+  return result;
+}
+
+}  // namespace decam::attack

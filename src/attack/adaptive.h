@@ -1,0 +1,41 @@
+// Adaptive attacks — the paper's §6 discussion made concrete. An attacker
+// aware of a SPECIFIC Decamouflage method can try to suppress exactly the
+// signal that method thresholds:
+//
+//  * noise_masked_attack targets the STEGANALYSIS detector: after crafting
+//    a normal attack, it sprays random noise over the NON-critical pixels
+//    (which the scaler never reads, so scale(A) is untouched), trying to
+//    raise the spectral floor over the harmonic peaks the CSP count keys
+//    on. Empirically the move FAILS (see tests/adaptive_defense_test.cpp
+//    and bench/ablation_adaptive): the harmonics are produced by the
+//    critical-pixel deltas themselves, which the attacker cannot soften
+//    without losing the payload, and they tower over any noise floor the
+//    remaining pixels can raise — while the added noise degrades the
+//    attack's stealth and feeds the scaling/filtering detectors.
+//
+//  * histogram-matched targets are provided by bench/ablation_histogram:
+//    they DO defeat Xiao's histogram heuristic — but not Decamouflage.
+//
+// Together: the adaptive moves that beat the weak baseline don't dent the
+// ensemble, and the attacker's levers against one method strengthen the
+// evidence seen by the others.
+#pragma once
+
+#include "attack/scale_attack.h"
+#include "data/rng.h"
+
+namespace decam::attack {
+
+struct NoiseMaskOptions {
+  AttackOptions base;          // the underlying attack to adapt
+  double noise_amplitude = 24.0;  // uniform +-amplitude on masked pixels
+  std::uint64_t seed = 1;
+};
+
+/// Crafts `base` attack, then adds uniform noise to every pixel the scaler
+/// does not read. The returned report is re-assessed on the final image
+/// (downscale error is unchanged by construction; source SSIM drops).
+AttackResult noise_masked_attack(const Image& source, const Image& target,
+                                 const NoiseMaskOptions& options);
+
+}  // namespace decam::attack

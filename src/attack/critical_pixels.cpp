@@ -1,0 +1,46 @@
+#include "attack/critical_pixels.h"
+
+namespace decam::attack {
+
+std::vector<bool> critical_indices(const CoeffMatrix& matrix) {
+  std::vector<bool> flags(static_cast<std::size_t>(matrix.cols()), false);
+  for (int r = 0; r < matrix.rows(); ++r) {
+    for (const Tap& tap : matrix.row_taps(r)) {
+      if (tap.weight != 0.0f) {
+        flags[static_cast<std::size_t>(tap.index)] = true;
+      }
+    }
+  }
+  return flags;
+}
+
+Image critical_mask(int src_w, int src_h, int dst_w, int dst_h,
+                    ScaleAlgo algo) {
+  const std::vector<bool> cols = critical_indices(
+      CoeffMatrix::for_scaling(src_w, dst_w, algo));
+  const std::vector<bool> rows = critical_indices(
+      CoeffMatrix::for_scaling(src_h, dst_h, algo));
+  Image mask(src_w, src_h, 1);
+  for (int y = 0; y < src_h; ++y) {
+    if (!rows[static_cast<std::size_t>(y)]) continue;
+    for (int x = 0; x < src_w; ++x) {
+      if (cols[static_cast<std::size_t>(x)]) mask.at(x, y, 0) = 255.0f;
+    }
+  }
+  return mask;
+}
+
+double critical_fraction(int src_w, int src_h, int dst_w, int dst_h,
+                         ScaleAlgo algo) {
+  const std::vector<bool> cols = critical_indices(
+      CoeffMatrix::for_scaling(src_w, dst_w, algo));
+  const std::vector<bool> rows = critical_indices(
+      CoeffMatrix::for_scaling(src_h, dst_h, algo));
+  std::size_t col_count = 0, row_count = 0;
+  for (bool flag : cols) col_count += flag ? 1 : 0;
+  for (bool flag : rows) row_count += flag ? 1 : 0;
+  return static_cast<double>(col_count) * row_count /
+         (static_cast<double>(src_w) * src_h);
+}
+
+}  // namespace decam::attack

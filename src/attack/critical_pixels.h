@@ -1,0 +1,29 @@
+// Which source pixels does the scaler actually read? The attack only
+// controls the model's view through those "critical" pixels; everything
+// else is invisible to the CNN. Both the adaptive attacks (mask their
+// noise to non-critical pixels) and the Quiring-style reconstruction
+// defence (cleanse exactly the critical pixels) need this set.
+#pragma once
+
+#include <vector>
+
+#include "attack/coeff_matrix.h"
+#include "imaging/image.h"
+
+namespace decam::attack {
+
+/// Per-input-index flag: true when some output sample has a tap there.
+std::vector<bool> critical_indices(const CoeffMatrix& matrix);
+
+/// 1-channel 0/255 mask of the pixels read by `algo` when resizing
+/// src_w x src_h down to dst_w x dst_h (separable: a pixel is critical iff
+/// its column AND its row are).
+Image critical_mask(int src_w, int src_h, int dst_w, int dst_h,
+                    ScaleAlgo algo);
+
+/// Fraction of source pixels the scaler reads — the attacker's footprint
+/// (e.g. ~1/16 for bilinear at ratio 4).
+double critical_fraction(int src_w, int src_h, int dst_w, int dst_h,
+                         ScaleAlgo algo);
+
+}  // namespace decam::attack

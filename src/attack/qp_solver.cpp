@@ -1,0 +1,168 @@
+#include "attack/qp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decam::attack {
+
+QpResult solve_attack_qp(const CoeffMatrix& C, const std::vector<double>& s,
+                         const std::vector<double>& t,
+                         const QpOptions& options) {
+  DECAM_REQUIRE(s.size() == static_cast<std::size_t>(C.cols()),
+                "source length must equal C.cols()");
+  DECAM_REQUIRE(t.size() == static_cast<std::size_t>(C.rows()),
+                "target length must equal C.rows()");
+  DECAM_REQUIRE(options.eps >= 0.0, "eps must be non-negative");
+  DECAM_REQUIRE(options.lo <= options.hi, "box bounds inverted");
+  DECAM_REQUIRE(options.max_sweeps >= 1, "need at least one sweep");
+
+  const int rows = C.rows();
+  const int cols = C.cols();
+
+  // Dykstra corrections: one short vector per slab (stored flattened on the
+  // row's tap support) and one full vector for the box constraint.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(rows) + 1, 0);
+  for (int r = 0; r < rows; ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + C.row_taps(r).size();
+  }
+  std::vector<double> slab_corr(offsets.back(), 0.0);
+  std::vector<double> box_corr(static_cast<std::size_t>(cols), 0.0);
+
+  QpResult result;
+  result.x = s;
+  std::vector<double>& x = result.x;
+
+  auto max_violation = [&]() {
+    double worst = 0.0;
+    for (int r = 0; r < rows; ++r) {
+      double v = 0.0;
+      for (const Tap& tap : C.row_taps(r)) {
+        v += static_cast<double>(tap.weight) *
+             x[static_cast<std::size_t>(tap.index)];
+      }
+      const double err = std::fabs(v - t[static_cast<std::size_t>(r)]);
+      worst = std::max(worst, err - options.eps);
+    }
+    for (double xv : x) {
+      worst = std::max(worst, options.lo - xv);
+      worst = std::max(worst, xv - options.hi);
+    }
+    return std::max(worst, 0.0);
+  };
+
+  // Projection of y (restricted to a row's taps) onto slab INTERSECT box:
+  //   x(lambda) = clamp(y + lambda * w, lo, hi)
+  // g(lambda) = w . x(lambda) is monotone non-decreasing (each term has
+  // derivative w_k^2 or 0), so the lambda placing g on the violated slab
+  // face is found by bisection. Making each slab projection box-aware is
+  // what keeps Dykstra fast when the optimum sits on a box corner — the
+  // plain slab/box alternation crawls there.
+  std::vector<double> y_buf;
+  auto project_slab_box = [&](const std::vector<Tap>& taps, double lower,
+                              double upper, std::vector<double>& y) {
+    auto g_of = [&](double lambda) {
+      double g = 0.0;
+      for (std::size_t k = 0; k < taps.size(); ++k) {
+        const double w = taps[k].weight;
+        g += w * std::clamp(y[k] + lambda * w, options.lo, options.hi);
+      }
+      return g;
+    };
+    const double g0 = g_of(0.0);
+    double face = 0.0;
+    if (g0 > upper) {
+      face = upper;
+    } else if (g0 < lower) {
+      face = lower;
+    } else {
+      // Slab satisfied by the box projection of y; the projection onto
+      // slab INTERSECT box is then just the box clamp of y.
+      for (double& v : y) v = std::clamp(v, options.lo, options.hi);
+      return;
+    }
+    // Bracket lambda. A tap of weight w crosses the whole box once
+    // |lambda| reaches span/|w|, so the smallest tap weight bounds the
+    // lambda at which g() saturates.
+    const double span = options.hi - options.lo + 510.0;
+    double lambda_lo = 0.0, lambda_hi = 0.0;
+    double min_abs_w = 1.0;
+    for (const Tap& tap : taps) {
+      min_abs_w = std::min(min_abs_w, std::fabs(static_cast<double>(tap.weight)));
+    }
+    const double big = span / std::max(min_abs_w, 1e-9) + span;
+    if (g0 > upper) {
+      lambda_lo = -big;
+      lambda_hi = 0.0;
+    } else {
+      lambda_lo = 0.0;
+      lambda_hi = big;
+    }
+    for (int iter = 0; iter < 64; ++iter) {
+      const double mid = 0.5 * (lambda_lo + lambda_hi);
+      if (g_of(mid) >= face) {
+        lambda_hi = mid;
+      } else {
+        lambda_lo = mid;
+      }
+    }
+    // After 64 halvings the bracket is ~1e-16 wide: its midpoint is the
+    // root, or the saturation endpoint when the face is unreachable inside
+    // the box (best-effort point).
+    const double lambda = 0.5 * (lambda_lo + lambda_hi);
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      y[k] = std::clamp(y[k] + lambda * taps[k].weight, options.lo,
+                        options.hi);
+    }
+  };
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Slab-within-box constraints, one Dykstra step each.
+    for (int r = 0; r < rows; ++r) {
+      const auto& taps = C.row_taps(r);
+      const std::size_t base = offsets[static_cast<std::size_t>(r)];
+      // y = x + correction (on the support only).
+      y_buf.resize(taps.size());
+      for (std::size_t k = 0; k < taps.size(); ++k) {
+        const std::size_t idx = static_cast<std::size_t>(taps[k].index);
+        y_buf[k] = x[idx] + slab_corr[base + k];
+      }
+      const double target = t[static_cast<std::size_t>(r)];
+      project_slab_box(taps, target - options.eps, target + options.eps,
+                       y_buf);
+      for (std::size_t k = 0; k < taps.size(); ++k) {
+        const std::size_t idx = static_cast<std::size_t>(taps[k].index);
+        const double y_before = x[idx] + slab_corr[base + k];
+        x[idx] = y_buf[k];
+        slab_corr[base + k] = y_before - y_buf[k];
+      }
+    }
+    // Box constraint.
+    for (int j = 0; j < cols; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(j);
+      const double y = x[idx] + box_corr[idx];
+      const double projected = std::clamp(y, options.lo, options.hi);
+      box_corr[idx] = y - projected;
+      x[idx] = projected;
+    }
+    result.sweeps_used = sweep + 1;
+    const double violation = max_violation();
+    if (violation <= options.tolerance) {
+      result.max_violation = violation;
+      result.converged = true;
+      break;
+    }
+    result.max_violation = violation;
+  }
+
+  double delta = 0.0;
+  for (int j = 0; j < cols; ++j) {
+    const double d = x[static_cast<std::size_t>(j)] -
+                     s[static_cast<std::size_t>(j)];
+    delta += d * d;
+  }
+  result.delta_norm_sq = delta;
+  return result;
+}
+
+}  // namespace decam::attack

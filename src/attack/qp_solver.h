@@ -1,0 +1,47 @@
+// Box-constrained 1-D attack QP:
+//
+//     minimise   || x - s ||_2^2
+//     subject to | C x - t |_inf <= eps,   lo <= x <= hi
+//
+// This is exactly Eq. (1) of the paper restricted to one axis — the
+// separable two-stage decomposition in scale_attack.cpp reduces the full
+// 2-D problem to many instances of this QP (one per row, then one per
+// column), the same decomposition Xiao et al.'s reference attack uses.
+//
+// Because the objective is a Euclidean projection of s onto the
+// intersection of convex sets (one slab per output sample plus the box), we
+// solve it with Dykstra's alternating-projection algorithm: each slab
+// projection has a closed form touching only the row's taps, so a full
+// sweep costs O(rows * taps) and typically a few dozen sweeps reach
+// sub-pixel feasibility.
+#pragma once
+
+#include <vector>
+
+#include "attack/coeff_matrix.h"
+
+namespace decam::attack {
+
+struct QpOptions {
+  double eps = 1.0;          // allowed |Cx - t| per output sample
+  double lo = 0.0;           // box lower bound
+  double hi = 255.0;         // box upper bound
+  int max_sweeps = 120;      // Dykstra iterations over all constraints
+  double tolerance = 0.25;   // stop when max violation falls below this
+};
+
+struct QpResult {
+  std::vector<double> x;      // solution
+  double max_violation = 0;   // max over outputs of max(0, |Cx-t| - eps)
+  double delta_norm_sq = 0;   // ||x - s||^2
+  int sweeps_used = 0;
+  bool converged = false;     // max_violation <= tolerance
+};
+
+/// Solves the QP above. `s` must have C.cols() entries, `t` C.rows().
+/// Throws std::invalid_argument on size mismatches.
+QpResult solve_attack_qp(const CoeffMatrix& C, const std::vector<double>& s,
+                         const std::vector<double>& t,
+                         const QpOptions& options = {});
+
+}  // namespace decam::attack

@@ -1,0 +1,151 @@
+#include "attack/scale_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "metrics/mse.h"
+#include "metrics/ssim.h"
+
+namespace decam::attack {
+namespace {
+
+// Exact nearest-neighbour attack: the scaler reads exactly one source pixel
+// per output pixel, so overwriting those pixels with the target values
+// reproduces T exactly while leaving every other pixel untouched.
+Image craft_nearest(const Image& source, const Image& target) {
+  const KernelTable horiz =
+      make_kernel_table(source.width(), target.width(), ScaleAlgo::Nearest);
+  const KernelTable vert =
+      make_kernel_table(source.height(), target.height(), ScaleAlgo::Nearest);
+  Image attack = source;
+  for (int c = 0; c < source.channels(); ++c) {
+    for (int ty = 0; ty < target.height(); ++ty) {
+      const int sy = vert.taps[static_cast<std::size_t>(ty)][0].index;
+      for (int tx = 0; tx < target.width(); ++tx) {
+        const int sx = horiz.taps[static_cast<std::size_t>(tx)][0].index;
+        attack.at(sx, sy, c) = target.at(tx, ty, c);
+      }
+    }
+  }
+  return attack;
+}
+
+// Stage helper: runs one 1-D QP per line. `get`/`set` abstract row vs
+// column access so both stages share the loop.
+struct StageStats {
+  bool converged = true;
+};
+
+}  // namespace
+
+AttackResult craft_attack(const Image& source, const Image& target,
+                          const AttackOptions& options) {
+  DECAM_REQUIRE(!source.empty() && !target.empty(),
+                "attack needs non-empty images");
+  DECAM_REQUIRE(source.channels() == target.channels(),
+                "source/target channel mismatch");
+  DECAM_REQUIRE(target.width() < source.width() &&
+                    target.height() < source.height(),
+                "target must be smaller than source (downscaling attack)");
+
+  AttackResult result;
+  StageStats stats;
+
+  if (options.algo == ScaleAlgo::Nearest) {
+    result.image = craft_nearest(source, target);
+  } else {
+    const CoeffMatrix CR = CoeffMatrix::for_scaling(
+        source.width(), target.width(), options.algo);
+    const CoeffMatrix CL = CoeffMatrix::for_scaling(
+        source.height(), target.height(), options.algo);
+
+    QpOptions qp;
+    // Split the pixel budget between the two stages; stage errors compose
+    // roughly additively through the row-stochastic second operator.
+    qp.eps = options.eps / 2.0;
+    qp.max_sweeps = options.max_sweeps;
+    qp.tolerance = options.tolerance / 2.0;
+
+    result.image = source;
+    Image& attack = result.image;
+
+    for (int c = 0; c < source.channels(); ++c) {
+      // Stage 1 (horizontal): attack the vertically pre-scaled source so
+      // that A1 * CR^T == T. A1 has target height and source width.
+      Image pre(source.width(), target.height(), 1);
+      {
+        const float* src_plane = source.plane(c).data();
+        float* pre_plane = pre.plane(0).data();
+        for (int x = 0; x < source.width(); ++x) {
+          apply_kernel(CL.table(), src_plane + x, source.width(),
+                       pre_plane + x, source.width());
+        }
+      }
+      Image a1(source.width(), target.height(), 1);
+      std::vector<double> s_line(static_cast<std::size_t>(source.width()));
+      std::vector<double> t_line(static_cast<std::size_t>(target.width()));
+      for (int y = 0; y < target.height(); ++y) {
+        const auto pre_row = pre.row(y, 0);
+        for (int x = 0; x < source.width(); ++x) {
+          s_line[static_cast<std::size_t>(x)] = pre_row[x];
+        }
+        for (int x = 0; x < target.width(); ++x) {
+          t_line[static_cast<std::size_t>(x)] = target.at(x, y, c);
+        }
+        const QpResult qp_result = solve_attack_qp(CR, s_line, t_line, qp);
+        stats.converged = stats.converged && qp_result.converged;
+        auto a1_row = a1.row(y, 0);
+        for (int x = 0; x < source.width(); ++x) {
+          a1_row[x] = static_cast<float>(
+              qp_result.x[static_cast<std::size_t>(x)]);
+        }
+      }
+
+      // Stage 2 (vertical): attack each source column so CL * A == A1.
+      std::vector<double> s_col(static_cast<std::size_t>(source.height()));
+      std::vector<double> t_col(static_cast<std::size_t>(target.height()));
+      for (int x = 0; x < source.width(); ++x) {
+        for (int y = 0; y < source.height(); ++y) {
+          s_col[static_cast<std::size_t>(y)] = source.at(x, y, c);
+        }
+        for (int y = 0; y < target.height(); ++y) {
+          t_col[static_cast<std::size_t>(y)] = a1.at(x, y, 0);
+        }
+        const QpResult qp_result = solve_attack_qp(CL, s_col, t_col, qp);
+        stats.converged = stats.converged && qp_result.converged;
+        for (int y = 0; y < source.height(); ++y) {
+          attack.at(x, y, c) = static_cast<float>(
+              qp_result.x[static_cast<std::size_t>(y)]);
+        }
+      }
+    }
+  }
+
+  // Quantise to 8-bit like a real attack image saved to disk.
+  result.image.clamp();
+  for (int c = 0; c < result.image.channels(); ++c) {
+    for (float& v : result.image.plane(c)) v = std::round(v);
+  }
+  result.report = assess_attack(result.image, source, target, options);
+  result.report.converged = stats.converged;
+  return result;
+}
+
+AttackReport assess_attack(const Image& attack_image, const Image& source,
+                           const Image& target, const AttackOptions& options) {
+  DECAM_REQUIRE(attack_image.same_shape(source),
+                "attack image must match source shape");
+  AttackReport report;
+  const Image downscaled =
+      resize(attack_image, target.width(), target.height(), options.algo);
+  const Image diff = absdiff(downscaled, target);
+  report.downscale_linf = diff.max_value();
+  report.downscale_mse = mse(downscaled, target);
+  report.perturbation_mse = mse(attack_image, source);
+  report.source_ssim = ssim(attack_image, source);
+  report.converged = true;
+  return report;
+}
+
+}  // namespace decam::attack

@@ -1,0 +1,53 @@
+// The image-scaling attack (Xiao et al., USENIX Security 2019), Eq. (1) of
+// the Decamouflage paper:
+//
+//     A = O + Δ,   minimise ||Δ||_2^2
+//     subject to  || scale(O + Δ) - T ||_inf <= eps,  A in [0, 255]
+//
+// Implemented with the standard separable decomposition: because
+// scale(X) = L X R^T, the 2-D problem splits into a horizontal stage (one
+// QP per row of the vertically pre-scaled source, matching T) followed by a
+// vertical stage (one QP per source column, matching the stage-1 result).
+// Each 1-D QP is solved by attack/qp_solver.h. Nearest-neighbour scaling
+// has an exact closed form (overwrite precisely the sampled pixels) used as
+// a fast path.
+#pragma once
+
+#include "attack/qp_solver.h"
+#include "imaging/image.h"
+#include "imaging/scale.h"
+
+namespace decam::attack {
+
+struct AttackOptions {
+  ScaleAlgo algo = ScaleAlgo::Bilinear;  // the victim pipeline's scaler
+  double eps = 1.0;         // allowed |scale(A) - T| per pixel
+  int max_sweeps = 120;     // QP solver budget per 1-D problem
+  double tolerance = 0.5;   // QP convergence tolerance (intensity levels)
+};
+
+struct AttackReport {
+  double downscale_linf = 0.0;   // max |scale(A) - T| actually achieved
+  double downscale_mse = 0.0;    // MSE(scale(A), T)
+  double perturbation_mse = 0.0; // MSE(A, O) — how visible the attack is
+  double source_ssim = 0.0;      // SSIM(A, O) — higher = stealthier
+  bool converged = false;        // every 1-D QP met its tolerance
+};
+
+struct AttackResult {
+  Image image;          // the attack image A
+  AttackReport report;
+};
+
+/// Crafts an attack image disguising `target` inside `source`. The target
+/// must be strictly smaller than the source in both dimensions (this is a
+/// downscaling attack). Channel counts must match.
+AttackResult craft_attack(const Image& source, const Image& target,
+                          const AttackOptions& options = {});
+
+/// Measures how well an arbitrary image functions as an attack against
+/// `target` under the given scaler (used by tests and the examples).
+AttackReport assess_attack(const Image& attack_image, const Image& source,
+                           const Image& target, const AttackOptions& options);
+
+}  // namespace decam::attack

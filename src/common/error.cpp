@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace decam::detail {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement `" + expr + "` failed: " + msg);
+}
+
+void assert_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: internal invariant `%s` violated\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace decam::detail

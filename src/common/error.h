@@ -1,0 +1,45 @@
+// Error handling primitives shared by every decam library.
+//
+// Policy (see DESIGN.md §5):
+//   * Caller mistakes (bad sizes, out-of-range parameters) throw
+//     std::invalid_argument via DECAM_REQUIRE.
+//   * Environment failures (file I/O) throw decam::IoError.
+//   * Internal invariants use DECAM_ASSERT, which aborts with a message —
+//     these indicate bugs in this library, never in user code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace decam {
+
+/// Thrown when reading or writing image files fails (missing file, short
+/// read, malformed header, ...).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+[[noreturn]] void assert_failed(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace decam
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define DECAM_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::decam::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+/// Check an internal invariant; aborts on failure (library bug).
+#define DECAM_ASSERT(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::decam::detail::assert_failed(#cond, __FILE__, __LINE__);      \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,125 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace decam::core {
+namespace {
+
+// Accuracy of a (threshold, polarity) rule on the two score sets.
+double rule_accuracy(std::span<const double> benign,
+                     std::span<const double> attack, double threshold,
+                     Polarity polarity) {
+  std::size_t correct = 0;
+  for (double s : benign) {
+    if (!is_attack(s, {threshold, polarity, 0.0})) ++correct;
+  }
+  for (double s : attack) {
+    if (is_attack(s, {threshold, polarity, 0.0})) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(benign.size() + attack.size());
+}
+
+}  // namespace
+
+bool is_attack(double score, const Calibration& calibration) {
+  return calibration.polarity == Polarity::HighIsAttack
+             ? score >= calibration.threshold
+             : score <= calibration.threshold;
+}
+
+WhiteBoxResult calibrate_white_box(std::span<const double> benign_scores,
+                                   std::span<const double> attack_scores) {
+  DECAM_REQUIRE(!benign_scores.empty() && !attack_scores.empty(),
+                "white-box calibration needs both classes");
+
+  // Candidate thresholds: midpoints between adjacent values of the pooled
+  // sorted scores (plus the extremes). Any threshold between the same two
+  // data points classifies identically, so this candidate set is complete.
+  std::vector<double> pooled;
+  pooled.reserve(benign_scores.size() + attack_scores.size());
+  pooled.insert(pooled.end(), benign_scores.begin(), benign_scores.end());
+  pooled.insert(pooled.end(), attack_scores.begin(), attack_scores.end());
+  std::sort(pooled.begin(), pooled.end());
+  pooled.erase(std::unique(pooled.begin(), pooled.end()), pooled.end());
+
+  std::vector<double> candidates;
+  candidates.reserve(pooled.size() + 1);
+  candidates.push_back(pooled.front() - 1.0);
+  for (std::size_t i = 0; i + 1 < pooled.size(); ++i) {
+    candidates.push_back(0.5 * (pooled[i] + pooled[i + 1]));
+  }
+  candidates.push_back(pooled.back() + 1.0);
+
+  WhiteBoxResult result;
+  result.trace.reserve(candidates.size());
+  double best_accuracy = -1.0;
+  for (double threshold : candidates) {
+    const double acc_high = rule_accuracy(benign_scores, attack_scores,
+                                          threshold, Polarity::HighIsAttack);
+    const double acc_low = rule_accuracy(benign_scores, attack_scores,
+                                         threshold, Polarity::LowIsAttack);
+    const bool high_wins = acc_high >= acc_low;
+    const double accuracy = high_wins ? acc_high : acc_low;
+    result.trace.push_back({threshold, accuracy});
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      result.calibration.threshold = threshold;
+      result.calibration.polarity =
+          high_wins ? Polarity::HighIsAttack : Polarity::LowIsAttack;
+    }
+  }
+  result.calibration.train_accuracy = best_accuracy;
+  return result;
+}
+
+double percentile_of(std::span<const double> scores, double p) {
+  DECAM_REQUIRE(!scores.empty(), "percentile of empty sample");
+  DECAM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted(scores.begin(), scores.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Calibration calibrate_black_box(std::span<const double> benign_scores,
+                                double percentile, Polarity polarity) {
+  DECAM_REQUIRE(percentile > 0.0 && percentile <= 50.0,
+                "percentile must be in (0, 50]");
+  Calibration calibration;
+  calibration.polarity = polarity;
+  calibration.threshold =
+      polarity == Polarity::HighIsAttack
+          ? percentile_of(benign_scores, 100.0 - percentile)
+          : percentile_of(benign_scores, percentile);
+  return calibration;
+}
+
+ScoreStats score_stats(std::span<const double> scores) {
+  DECAM_REQUIRE(!scores.empty(), "stats of empty sample");
+  ScoreStats stats;
+  stats.min = stats.max = scores[0];
+  double sum = 0.0;
+  for (double s : scores) {
+    sum += s;
+    stats.min = std::min(stats.min, s);
+    stats.max = std::max(stats.max, s);
+  }
+  stats.mean = sum / static_cast<double>(scores.size());
+  double var = 0.0;
+  for (double s : scores) {
+    var += (s - stats.mean) * (s - stats.mean);
+  }
+  stats.stddev = scores.size() > 1
+                     ? std::sqrt(var / static_cast<double>(scores.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+}  // namespace decam::core

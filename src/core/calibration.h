@@ -1,0 +1,68 @@
+// Threshold selection — the paper's RQ.3.
+//
+// White-box ("gradient descent" in the paper's terminology): with scored
+// benign AND attack training sets, sort all candidate midpoints between
+// adjacent scores and pick the threshold/polarity maximising training
+// accuracy. This is an exhaustive 1-D search, which dominates any local
+// descent and is what the paper's procedure converges to.
+//
+// Black-box: with benign scores only, take a percentile of the benign
+// distribution as the decision boundary (paper uses 1/2/3 %); the tail side
+// is chosen by the declared polarity (MSE grows under attack, SSIM shrinks).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace decam::core {
+
+/// Which side of the threshold is classified as an attack.
+enum class Polarity {
+  HighIsAttack,  // score >= threshold => attack (MSE, CSP)
+  LowIsAttack,   // score <= threshold => attack (SSIM)
+};
+
+struct Calibration {
+  double threshold = 0.0;
+  Polarity polarity = Polarity::HighIsAttack;
+  double train_accuracy = 0.0;  // accuracy on the calibration data
+                                // (white-box only; 0 for black-box)
+};
+
+/// One probe of the white-box search (for the threshold-search figure).
+struct ThresholdProbe {
+  double threshold = 0.0;
+  double accuracy = 0.0;
+};
+
+struct WhiteBoxResult {
+  Calibration calibration;
+  std::vector<ThresholdProbe> trace;  // every candidate evaluated, sorted
+};
+
+/// Decision rule shared by every consumer.
+bool is_attack(double score, const Calibration& calibration);
+
+/// White-box search over both polarities. Throws if either set is empty.
+WhiteBoxResult calibrate_white_box(std::span<const double> benign_scores,
+                                   std::span<const double> attack_scores);
+
+/// Black-box percentile calibration. `percentile` is in (0, 50]; for
+/// HighIsAttack the threshold is the (100-p)th percentile of the benign
+/// scores, for LowIsAttack the p-th.
+Calibration calibrate_black_box(std::span<const double> benign_scores,
+                                double percentile, Polarity polarity);
+
+/// Summary statistics the black-box tables report alongside accuracy.
+struct ScoreStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+ScoreStats score_stats(std::span<const double> scores);
+
+/// Linear-interpolated percentile (p in [0, 100]) of a sample.
+double percentile_of(std::span<const double> scores, double p);
+
+}  // namespace decam::core

@@ -1,0 +1,31 @@
+// Persistence for calibrated deployments: a Decamouflage installation
+// calibrates once (offline, possibly on another machine) and ships the
+// thresholds to its online guards as a small text profile. The format is
+// line-oriented and versioned:
+//
+//   decam-calibration v1
+//   <name> <polarity> <threshold> <train_accuracy>
+//   ...
+//
+// where <name> is the detector name the thresholds belong to (e.g.
+// "scaling/mse") and <polarity> is "high" or "low".
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/calibration.h"
+
+namespace decam::core {
+
+using CalibrationProfile = std::map<std::string, Calibration>;
+
+/// Writes the profile; throws IoError on failure.
+void save_calibrations(const CalibrationProfile& profile,
+                       const std::filesystem::path& file);
+
+/// Reads a profile; throws IoError on missing/corrupt files.
+CalibrationProfile load_calibrations(const std::filesystem::path& file);
+
+}  // namespace decam::core

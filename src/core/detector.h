@@ -1,0 +1,37 @@
+// Common interface of Decamouflage's detection methods.
+//
+// A Detector maps an input image to a scalar score; a Calibration
+// (core/calibration.h) turns scores into attack/benign decisions. Keeping
+// score and decision separate is what lets one code path serve both the
+// white-box threshold search (needs raw scores of both classes) and the
+// black-box percentile calibration (needs benign scores only), and lets the
+// ensemble combine heterogeneous methods.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "imaging/image.h"
+
+namespace decam::core {
+
+/// The similarity metric a spatial-domain detector reduces its image pair
+/// with. CSP is the steganalysis detector's count metric.
+enum class Metric { MSE, SSIM, CSP };
+
+const char* to_string(Metric metric);
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Scalar detection score for one image. Higher-is-attack vs
+  /// lower-is-attack depends on the method+metric; Calibration carries the
+  /// polarity.
+  virtual double score(const Image& input) const = 0;
+
+  /// Human-readable method name ("scaling/mse", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace decam::core

@@ -1,0 +1,47 @@
+#include "core/ensemble.h"
+
+#include "common/error.h"
+
+namespace decam::core {
+
+EnsembleDetector::EnsembleDetector(std::vector<Member> members)
+    : members_(std::move(members)) {
+  DECAM_REQUIRE(!members_.empty(), "ensemble needs at least one member");
+  for (const Member& member : members_) {
+    DECAM_REQUIRE(member.detector != nullptr, "null detector in ensemble");
+  }
+}
+
+std::vector<bool> EnsembleDetector::votes(const Image& input) const {
+  std::vector<bool> result;
+  result.reserve(members_.size());
+  for (const Member& member : members_) {
+    result.push_back(
+        core::is_attack(member.detector->score(input), member.calibration));
+  }
+  return result;
+}
+
+bool EnsembleDetector::is_attack(const Image& input) const {
+  std::size_t attack_votes = 0;
+  for (const Member& member : members_) {
+    if (core::is_attack(member.detector->score(input), member.calibration)) {
+      ++attack_votes;
+    }
+  }
+  return 2 * attack_votes > members_.size();
+}
+
+bool EnsembleDetector::vote_scores(std::span<const double> member_scores) const {
+  DECAM_REQUIRE(member_scores.size() == members_.size(),
+                "score count must match member count");
+  std::size_t attack_votes = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (core::is_attack(member_scores[i], members_[i].calibration)) {
+      ++attack_votes;
+    }
+  }
+  return 2 * attack_votes > members_.size();
+}
+
+}  // namespace decam::core

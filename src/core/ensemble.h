@@ -1,0 +1,42 @@
+// Majority-vote ensemble (paper Section V-E): the three detection methods
+// vote independently and the majority decides. This both lifts accuracy
+// above the best single method and hardens adaptive attacks, which now have
+// to fool spatial- and frequency-domain methods simultaneously.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/detector.h"
+
+namespace decam::core {
+
+class EnsembleDetector {
+ public:
+  struct Member {
+    std::shared_ptr<const Detector> detector;
+    Calibration calibration;
+  };
+
+  /// At least one member; an odd count avoids ties (a tie counts as
+  /// benign — the conservative choice for FRR).
+  explicit EnsembleDetector(std::vector<Member> members);
+
+  /// True when a strict majority of members flags the image.
+  bool is_attack(const Image& input) const;
+
+  /// Individual member votes (for diagnostics and the examples).
+  std::vector<bool> votes(const Image& input) const;
+
+  /// Majority decision from precomputed member scores, in member order.
+  /// Lets the benches reuse cached scores instead of re-running detectors.
+  bool vote_scores(std::span<const double> member_scores) const;
+
+  const std::vector<Member>& members() const { return members_; }
+
+ private:
+  std::vector<Member> members_;
+};
+
+}  // namespace decam::core

@@ -1,0 +1,77 @@
+#include "core/evaluation.h"
+
+#include "common/error.h"
+
+namespace decam::core {
+namespace {
+
+double ratio(long num, long den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double DetectionStats::accuracy() const {
+  return ratio(true_positives + true_negatives,
+               true_positives + true_negatives + false_positives +
+                   false_negatives);
+}
+
+double DetectionStats::precision() const {
+  return ratio(true_positives, true_positives + false_positives);
+}
+
+double DetectionStats::recall() const {
+  return ratio(true_positives, true_positives + false_negatives);
+}
+
+double DetectionStats::far() const {
+  return ratio(false_negatives, true_positives + false_negatives);
+}
+
+double DetectionStats::frr() const {
+  return ratio(false_positives, true_negatives + false_positives);
+}
+
+DetectionStats evaluate(std::span<const double> benign_scores,
+                        std::span<const double> attack_scores,
+                        const Calibration& calibration) {
+  DetectionStats stats;
+  for (double s : benign_scores) {
+    if (is_attack(s, calibration)) {
+      ++stats.false_positives;
+    } else {
+      ++stats.true_negatives;
+    }
+  }
+  for (double s : attack_scores) {
+    if (is_attack(s, calibration)) {
+      ++stats.true_positives;
+    } else {
+      ++stats.false_negatives;
+    }
+  }
+  return stats;
+}
+
+DetectionStats evaluate_flags(const std::vector<bool>& benign_flagged,
+                              const std::vector<bool>& attack_flagged) {
+  DetectionStats stats;
+  for (bool flagged : benign_flagged) {
+    if (flagged) {
+      ++stats.false_positives;
+    } else {
+      ++stats.true_negatives;
+    }
+  }
+  for (bool flagged : attack_flagged) {
+    if (flagged) {
+      ++stats.true_positives;
+    } else {
+      ++stats.false_negatives;
+    }
+  }
+  return stats;
+}
+
+}  // namespace decam::core

@@ -1,0 +1,40 @@
+// Confusion-matrix evaluation with the five measures every table in the
+// paper reports: accuracy, precision, recall, FAR (attack images accepted
+// as benign) and FRR (benign images rejected as attacks).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/calibration.h"
+
+namespace decam::core {
+
+struct DetectionStats {
+  long true_positives = 0;   // attacks flagged as attacks
+  long false_positives = 0;  // benign flagged as attacks
+  long true_negatives = 0;   // benign passed as benign
+  long false_negatives = 0;  // attacks passed as benign
+
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  /// False acceptance rate: fraction of ATTACK images accepted as benign.
+  double far() const;
+  /// False rejection rate: fraction of BENIGN images rejected as attacks.
+  double frr() const;
+};
+
+/// Applies the calibration to both score sets and tallies the confusion
+/// matrix. Attack scores are the positive class.
+DetectionStats evaluate(std::span<const double> benign_scores,
+                        std::span<const double> attack_scores,
+                        const Calibration& calibration);
+
+/// Tallies pre-made boolean decisions (used by the ensemble, whose votes
+/// are not a scalar score). Takes vectors because std::vector<bool> is
+/// bit-packed and cannot form a span.
+DetectionStats evaluate_flags(const std::vector<bool>& benign_flagged,
+                              const std::vector<bool>& attack_flagged);
+
+}  // namespace decam::core

@@ -1,0 +1,31 @@
+#include "core/filtering_detector.h"
+
+#include "metrics/mse.h"
+#include "metrics/ssim.h"
+
+namespace decam::core {
+
+FilteringDetector::FilteringDetector(FilteringDetectorConfig config)
+    : config_(config) {
+  DECAM_REQUIRE(config.window >= 1, "filter window must be >= 1");
+  DECAM_REQUIRE(config.metric == Metric::MSE || config.metric == Metric::SSIM,
+                "filtering detector uses MSE or SSIM");
+}
+
+Image FilteringDetector::filtered(const Image& input) const {
+  return rank_filter(input, config_.window, config_.op);
+}
+
+double FilteringDetector::score(const Image& input) const {
+  const Image f = filtered(input);
+  return config_.metric == Metric::MSE ? mse(input, f) : ssim(input, f);
+}
+
+std::string FilteringDetector::name() const {
+  const char* op = config_.op == RankOp::Min
+                       ? "min"
+                       : (config_.op == RankOp::Max ? "max" : "median");
+  return std::string("filtering/") + op + "/" + to_string(config_.metric);
+}
+
+}  // namespace decam::core

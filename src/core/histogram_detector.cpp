@@ -1,0 +1,24 @@
+#include "core/histogram_detector.h"
+
+#include "metrics/histogram.h"
+
+namespace decam::core {
+
+HistogramDetector::HistogramDetector(HistogramDetectorConfig config)
+    : config_(config) {
+  DECAM_REQUIRE(config.down_width > 0 && config.down_height > 0,
+                "downscale geometry must be positive");
+  DECAM_REQUIRE(config.bins > 0 && config.bins <= 256, "bad bin count");
+}
+
+double HistogramDetector::score(const Image& input) const {
+  const Image down =
+      resize(input, config_.down_width, config_.down_height, config_.algo);
+  const auto h_in = color_histogram(input, config_.bins);
+  const auto h_down = color_histogram(down, config_.bins);
+  return histogram_intersection(h_in, h_down);
+}
+
+std::string HistogramDetector::name() const { return "histogram/intersection"; }
+
+}  // namespace decam::core

@@ -1,0 +1,50 @@
+#include "core/multiscale.h"
+
+#include <algorithm>
+
+namespace decam::core {
+
+MultiScaleScanner::MultiScaleScanner(MultiScaleConfig config)
+    : config_(std::move(config)), steganalysis_(SteganalysisDetectorConfig{}) {
+  DECAM_REQUIRE(!config_.candidate_sides.empty(),
+                "need at least one candidate geometry");
+  for (int side : config_.candidate_sides) {
+    DECAM_REQUIRE(side > 0, "candidate geometry must be positive");
+  }
+  DECAM_REQUIRE(config_.metric == Metric::MSE ||
+                    config_.metric == Metric::SSIM,
+                "scaling probes use MSE or SSIM");
+}
+
+MultiScaleReport MultiScaleScanner::scan(const Image& input) const {
+  DECAM_REQUIRE(!input.empty(), "scan of empty image");
+  MultiScaleReport report;
+  const bool high_is_attack =
+      config_.scaling_calibration.polarity == Polarity::HighIsAttack;
+  bool first = true;
+  for (int side : config_.candidate_sides) {
+    if (side >= input.width() || side >= input.height()) continue;
+    ScalingDetectorConfig probe_config;
+    probe_config.down_width = probe_config.down_height = side;
+    probe_config.down_algo = probe_config.up_algo = config_.algo;
+    probe_config.metric = config_.metric;
+    const ScalingDetector probe{probe_config};
+    const double score = probe.score(input);
+    const bool worse = first || (high_is_attack ? score > report.worst_score
+                                                : score < report.worst_score);
+    if (worse) report.worst_score = score;
+    first = false;
+    if (is_attack(score, config_.scaling_calibration) &&
+        report.triggered_side == 0) {
+      report.triggered_side = side;
+    }
+  }
+  report.csp_count = steganalysis_.count_csp(input);
+  report.csp_fired =
+      is_attack(static_cast<double>(report.csp_count),
+                config_.csp_calibration);
+  report.flagged = report.triggered_side != 0 || report.csp_fired;
+  return report;
+}
+
+}  // namespace decam::core

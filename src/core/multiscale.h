@@ -1,0 +1,57 @@
+// Multi-geometry scanning for the OFFLINE threat model. An online guard
+// knows its own pipeline's input size, but a data curator sanitising a
+// corpus for future training (the paper's backdoor scenario) may not know
+// which model — hence which input geometry — an attacker targeted. A
+// scaling attack only reveals itself when probed near ITS geometry (the
+// round trip at other sizes reads mostly benign pixels), so the curator
+// probes the standard geometries of the paper's Table 1 and flags an image
+// if ANY probe fires.
+//
+// The steganalysis detector is geometry-free (the harmonics encode the
+// ratio), so the multi-scale scanner pairs the geometry sweep of the
+// scaling method with a single CSP pass.
+#pragma once
+
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+
+namespace decam::core {
+
+struct MultiScaleConfig {
+  // Candidate CNN input geometries to probe (paper Table 1 defaults).
+  std::vector<int> candidate_sides = {32, 64, 96, 112, 224};
+  ScaleAlgo algo = ScaleAlgo::Bilinear;
+  Metric metric = Metric::MSE;
+  // Per-geometry scaling threshold (shared; scores are comparable because
+  // the metric is a per-pixel average), plus the universal CSP rule.
+  Calibration scaling_calibration{500.0, Polarity::HighIsAttack, 0.0};
+  Calibration csp_calibration{2.0, Polarity::HighIsAttack, 0.0};
+};
+
+struct MultiScaleReport {
+  bool flagged = false;
+  int triggered_side = 0;      // geometry whose probe fired (0 = none)
+  double worst_score = 0.0;    // most attack-like scaling score seen
+  bool csp_fired = false;
+  int csp_count = 0;
+};
+
+class MultiScaleScanner {
+ public:
+  explicit MultiScaleScanner(MultiScaleConfig config);
+
+  /// Probes every candidate geometry smaller than the input; flags when
+  /// any scaling probe or the CSP rule fires.
+  MultiScaleReport scan(const Image& input) const;
+
+  const MultiScaleConfig& config() const { return config_; }
+
+ private:
+  MultiScaleConfig config_;
+  SteganalysisDetector steganalysis_;
+};
+
+}  // namespace decam::core

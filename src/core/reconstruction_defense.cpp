@@ -1,0 +1,48 @@
+#include "core/reconstruction_defense.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/critical_pixels.h"
+
+namespace decam::core {
+
+Image reconstruct_critical_pixels(const Image& input,
+                                  const ReconstructionConfig& config) {
+  DECAM_REQUIRE(!input.empty(), "reconstruction of empty image");
+  DECAM_REQUIRE(config.target_width > 0 && config.target_height > 0,
+                "target geometry must be positive");
+  DECAM_REQUIRE(config.neighbourhood >= 1, "neighbourhood must be >= 1");
+  const Image mask = attack::critical_mask(
+      input.width(), input.height(), config.target_width,
+      config.target_height, config.algo);
+  Image out = input;
+  std::vector<float> clean;
+  std::vector<float> any;
+  const int radius = config.neighbourhood;
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      if (mask.at(x, y, 0) == 0.0f) continue;  // not attacker-controlled
+      for (int c = 0; c < input.channels(); ++c) {
+        clean.clear();
+        any.clear();
+        for (int dy = -radius; dy <= radius; ++dy) {
+          for (int dx = -radius; dx <= radius; ++dx) {
+            const int nx = std::clamp(x + dx, 0, input.width() - 1);
+            const int ny = std::clamp(y + dy, 0, input.height() - 1);
+            const float value = input.at(nx, ny, c);
+            any.push_back(value);
+            if (mask.at(nx, ny, 0) == 0.0f) clean.push_back(value);
+          }
+        }
+        std::vector<float>& pool = clean.empty() ? any : clean;
+        auto mid = pool.begin() + pool.size() / 2;
+        std::nth_element(pool.begin(), mid, pool.end());
+        out.at(x, y, c) = *mid;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace decam::core

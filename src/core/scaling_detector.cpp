@@ -1,0 +1,43 @@
+#include "core/scaling_detector.h"
+
+#include "metrics/mse.h"
+#include "metrics/ssim.h"
+
+namespace decam::core {
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::MSE: return "mse";
+    case Metric::SSIM: return "ssim";
+    case Metric::CSP: return "csp";
+  }
+  return "?";
+}
+
+ScalingDetector::ScalingDetector(ScalingDetectorConfig config)
+    : config_(config) {
+  DECAM_REQUIRE(config.down_width > 0 && config.down_height > 0,
+                "downscale geometry must be positive");
+  DECAM_REQUIRE(config.metric == Metric::MSE || config.metric == Metric::SSIM,
+                "scaling detector uses MSE or SSIM");
+}
+
+Image ScalingDetector::round_trip(const Image& input) const {
+  return scale_round_trip(input, config_.down_width, config_.down_height,
+                          config_.down_algo, config_.up_algo);
+}
+
+double ScalingDetector::score(const Image& input) const {
+  DECAM_REQUIRE(input.width() > config_.down_width &&
+                    input.height() > config_.down_height,
+                "input must be larger than the CNN geometry");
+  const Image round = round_trip(input);
+  return config_.metric == Metric::MSE ? mse(input, round)
+                                       : ssim(input, round);
+}
+
+std::string ScalingDetector::name() const {
+  return std::string("scaling/") + to_string(config_.metric);
+}
+
+}  // namespace decam::core

@@ -1,0 +1,103 @@
+#include "data/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace decam::data {
+namespace {
+
+// Hash-based lattice value: maps integer lattice coordinates (plus a salt)
+// to a deterministic double in [0, 1). Using a hash instead of a stored
+// lattice keeps arbitrary image sizes cheap.
+double lattice_value(std::int64_t x, std::int64_t y, std::uint64_t salt) {
+  std::uint64_t h = salt;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+// One octave of bilinear value noise at the given period.
+double octave_at(double px, double py, double period, std::uint64_t salt) {
+  const double gx = px / period;
+  const double gy = py / period;
+  const auto x0 = static_cast<std::int64_t>(std::floor(gx));
+  const auto y0 = static_cast<std::int64_t>(std::floor(gy));
+  const double tx = smoothstep(gx - static_cast<double>(x0));
+  const double ty = smoothstep(gy - static_cast<double>(y0));
+  const double v00 = lattice_value(x0, y0, salt);
+  const double v10 = lattice_value(x0 + 1, y0, salt);
+  const double v01 = lattice_value(x0, y0 + 1, salt);
+  const double v11 = lattice_value(x0 + 1, y0 + 1, salt);
+  const double top = v00 + (v10 - v00) * tx;
+  const double bot = v01 + (v11 - v01) * tx;
+  return top + (bot - top) * ty;
+}
+
+}  // namespace
+
+Image value_noise(int width, int height, const NoiseParams& params, Rng& rng) {
+  DECAM_REQUIRE(params.octaves >= 1, "need at least one octave");
+  DECAM_REQUIRE(params.base_period > 1.0, "base period must exceed 1 pixel");
+  Image out(width, height, 1);
+  std::vector<std::uint64_t> salts(static_cast<std::size_t>(params.octaves));
+  for (auto& s : salts) s = rng.next_u64();
+  double max_amp = 0.0;
+  {
+    double amp = 1.0;
+    for (int o = 0; o < params.octaves; ++o) {
+      max_amp += amp;
+      amp *= params.persistence;
+    }
+  }
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double value = 0.0;
+      double amp = 1.0;
+      double period = params.base_period;
+      for (int o = 0; o < params.octaves; ++o) {
+        value += amp * octave_at(x, y, period,
+                                 salts[static_cast<std::size_t>(o)]);
+        amp *= params.persistence;
+        period /= params.lacunarity;
+      }
+      out.at(x, y, 0) = static_cast<float>(255.0 * value / max_amp);
+    }
+  }
+  return out;
+}
+
+Image value_noise_rgb(int width, int height, const NoiseParams& params,
+                      Rng& rng) {
+  const Image luma = value_noise(width, height, params, rng);
+  // Chroma fields vary slowly (one-third the detail) and modulate around
+  // the shared luma, mimicking the luma/chroma statistics of photos.
+  NoiseParams chroma_params = params;
+  chroma_params.octaves = std::max(1, params.octaves - 2);
+  const Image chroma_a = value_noise(width, height, chroma_params, rng);
+  const Image chroma_b = value_noise(width, height, chroma_params, rng);
+  const double tint_r = rng.next_range(-0.25, 0.25);
+  const double tint_b = rng.next_range(-0.25, 0.25);
+  Image out(width, height, 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float l = luma.at(x, y, 0);
+      const float ca = chroma_a.at(x, y, 0) - 127.5f;
+      const float cb = chroma_b.at(x, y, 0) - 127.5f;
+      out.at(x, y, 0) =
+          l + static_cast<float>(tint_r) * ca + 0.30f * ca;
+      out.at(x, y, 1) = l - 0.15f * ca - 0.15f * cb;
+      out.at(x, y, 2) =
+          l + static_cast<float>(tint_b) * cb + 0.30f * cb;
+    }
+  }
+  out.clamp();
+  return out;
+}
+
+}  // namespace decam::data

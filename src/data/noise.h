@@ -1,0 +1,29 @@
+// Multi-octave value noise — the texture engine behind the synthetic
+// "natural image" generator. Summing bilinear lattice noise across octaves
+// with persistence < 1 yields the ~1/f amplitude spectrum of photographs,
+// which is the property the steganalysis detector (and the benign score
+// distributions in general) depend on (DESIGN.md §2).
+#pragma once
+
+#include "data/rng.h"
+#include "imaging/image.h"
+
+namespace decam::data {
+
+struct NoiseParams {
+  int octaves = 5;            // number of frequency bands summed
+  double base_period = 96.0;  // lattice spacing of the lowest octave, pixels
+  double persistence = 0.55;  // amplitude falloff per octave
+  double lacunarity = 2.0;    // frequency growth per octave
+};
+
+/// Generates a 1-channel noise image in [0, 255].
+Image value_noise(int width, int height, const NoiseParams& params, Rng& rng);
+
+/// Generates a 3-channel image with correlated per-channel noise: a shared
+/// luma field plus small chroma offsets, so the result looks like a tinted
+/// photograph rather than RGB static.
+Image value_noise_rgb(int width, int height, const NoiseParams& params,
+                      Rng& rng);
+
+}  // namespace decam::data

@@ -1,0 +1,72 @@
+#include "data/rng.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace decam::data {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+int Rng::next_int(int lo, int hi) {
+  DECAM_REQUIRE(lo <= hi, "next_int bounds inverted");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::next_range(double lo, double hi) {
+  DECAM_REQUIRE(lo <= hi, "next_range bounds inverted");
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  have_spare_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace decam::data

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random numbers for every experiment. xoshiro256**
+// seeded through SplitMix64; identical seeds produce identical datasets on
+// any platform, which is what lets the benches print a seed and be exactly
+// re-runnable.
+#pragma once
+
+#include <cstdint>
+
+namespace decam::data {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent child stream (for per-image generators).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace decam::data

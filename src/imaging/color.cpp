@@ -1,0 +1,30 @@
+#include "imaging/color.h"
+
+#include <array>
+
+namespace decam {
+
+Image to_gray(const Image& img) {
+  DECAM_REQUIRE(!img.empty(), "to_gray of empty image");
+  if (img.channels() == 1) {
+    return img;  // value copy
+  }
+  DECAM_REQUIRE(img.channels() == 3, "to_gray expects 1 or 3 channels");
+  Image out(img.width(), img.height(), 1);
+  const auto r = img.plane(0);
+  const auto g = img.plane(1);
+  const auto b = img.plane(2);
+  auto y = out.plane(0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+  }
+  return out;
+}
+
+Image gray_to_rgb(const Image& img) {
+  DECAM_REQUIRE(img.channels() == 1, "gray_to_rgb expects 1 channel");
+  const std::array<Image, 3> planes = {img, img, img};
+  return Image::from_channels(planes);
+}
+
+}  // namespace decam

@@ -1,0 +1,17 @@
+// Color-space helpers. Only what the detection pipeline needs: luma
+// extraction (for the FFT-based steganalysis detector) and gray->RGB
+// replication (for uniform example output).
+#pragma once
+
+#include "imaging/image.h"
+
+namespace decam {
+
+/// BT.601 luma: 0.299 R + 0.587 G + 0.114 B — the same weights OpenCV's
+/// cvtColor(BGR2GRAY) uses. 1-channel inputs are passed through as a copy.
+Image to_gray(const Image& img);
+
+/// Replicates a 1-channel image into 3 identical RGB planes.
+Image gray_to_rgb(const Image& img);
+
+}  // namespace decam

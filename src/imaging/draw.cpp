@@ -1,0 +1,138 @@
+#include "imaging/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decam {
+namespace {
+
+// Returns the color component for channel c, broadcasting single values.
+float channel_color(std::span<const float> color, int c) {
+  DECAM_ASSERT(!color.empty());
+  return color.size() == 1 ? color[0]
+                           : color[static_cast<std::size_t>(c)];
+}
+
+void check_color(const Image& img, std::span<const float> color) {
+  DECAM_REQUIRE(color.size() == 1 ||
+                    color.size() == static_cast<std::size_t>(img.channels()),
+                "color span must have 1 or channels() entries");
+}
+
+}  // namespace
+
+void fill_rect(Image& img, int x0, int y0, int x1, int y1,
+               std::span<const float> color) {
+  check_color(img, color);
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img.width());
+  y1 = std::min(y1, img.height());
+  for (int c = 0; c < img.channels(); ++c) {
+    const float v = channel_color(color, c);
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) img.at(x, y, c) = v;
+    }
+  }
+}
+
+void fill_circle(Image& img, int cx, int cy, int r,
+                 std::span<const float> color) {
+  check_color(img, color);
+  DECAM_REQUIRE(r >= 0, "radius must be non-negative");
+  const int x0 = std::max(cx - r, 0);
+  const int x1 = std::min(cx + r + 1, img.width());
+  const int y0 = std::max(cy - r, 0);
+  const int y1 = std::min(cy + r + 1, img.height());
+  const long long r2 = static_cast<long long>(r) * r;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const long long dx = x - cx;
+      const long long dy = y - cy;
+      if (dx * dx + dy * dy <= r2) {
+        for (int c = 0; c < img.channels(); ++c) {
+          img.at(x, y, c) = channel_color(color, c);
+        }
+      }
+    }
+  }
+}
+
+void draw_line(Image& img, int x0, int y0, int x1, int y1,
+               std::span<const float> color) {
+  check_color(img, color);
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    if (x0 >= 0 && x0 < img.width() && y0 >= 0 && y0 < img.height()) {
+      for (int c = 0; c < img.channels(); ++c) {
+        img.at(x0, y0, c) = channel_color(color, c);
+      }
+    }
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void fill_gradient(Image& img, std::span<const float> from,
+                   std::span<const float> to, double angle) {
+  check_color(img, from);
+  check_color(img, to);
+  const double dir_x = std::cos(angle);
+  const double dir_y = std::sin(angle);
+  // Project each pixel onto the gradient direction and normalise to [0, 1].
+  double lo = 1e300, hi = -1e300;
+  const double corners[4][2] = {{0, 0},
+                                {static_cast<double>(img.width() - 1), 0},
+                                {0, static_cast<double>(img.height() - 1)},
+                                {static_cast<double>(img.width() - 1),
+                                 static_cast<double>(img.height() - 1)}};
+  for (const auto& corner : corners) {
+    const double t = corner[0] * dir_x + corner[1] * dir_y;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  const double span = std::max(hi - lo, 1e-9);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double t = (x * dir_x + y * dir_y - lo) / span;
+      for (int c = 0; c < img.channels(); ++c) {
+        const float a = channel_color(from, c);
+        const float b = channel_color(to, c);
+        img.at(x, y, c) = static_cast<float>(a + (b - a) * t);
+      }
+    }
+  }
+}
+
+void blend_sprite(Image& img, const Image& sprite, int x, int y, float alpha) {
+  DECAM_REQUIRE(sprite.channels() == img.channels(),
+                "sprite channel count must match target");
+  DECAM_REQUIRE(alpha >= 0.0f && alpha <= 1.0f, "alpha must be in [0,1]");
+  const int x0 = std::max(x, 0);
+  const int y0 = std::max(y, 0);
+  const int x1 = std::min(x + sprite.width(), img.width());
+  const int y1 = std::min(y + sprite.height(), img.height());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int py = y0; py < y1; ++py) {
+      for (int px = x0; px < x1; ++px) {
+        float& dst = img.at(px, py, c);
+        const float src = sprite.at(px - x, py - y, c);
+        dst = dst * (1.0f - alpha) + src * alpha;
+      }
+    }
+  }
+}
+
+}  // namespace decam

@@ -1,0 +1,33 @@
+// Drawing primitives used by the synthetic dataset generator (src/data) and
+// the examples. All coordinates are pixel-centre integers; shapes are
+// clipped to the image. Colors are per-channel spans sized to the image's
+// channel count (a single value is broadcast for grayscale convenience).
+#pragma once
+
+#include <span>
+
+#include "imaging/image.h"
+
+namespace decam {
+
+/// Solid axis-aligned rectangle [x0, x1) x [y0, y1).
+void fill_rect(Image& img, int x0, int y0, int x1, int y1,
+               std::span<const float> color);
+
+/// Solid disc of radius r centred at (cx, cy).
+void fill_circle(Image& img, int cx, int cy, int r,
+                 std::span<const float> color);
+
+/// 1-pixel-wide line from (x0, y0) to (x1, y1), Bresenham.
+void draw_line(Image& img, int x0, int y0, int x1, int y1,
+               std::span<const float> color);
+
+/// Linear gradient across the whole image between two colors; `angle` in
+/// radians selects the direction (0 = left-to-right).
+void fill_gradient(Image& img, std::span<const float> from,
+                   std::span<const float> to, double angle);
+
+/// Alpha-blends `sprite` onto `img` at (x, y); alpha in [0, 1].
+void blend_sprite(Image& img, const Image& sprite, int x, int y, float alpha);
+
+}  // namespace decam

@@ -1,0 +1,102 @@
+#include "imaging/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace decam {
+
+Image rank_filter(const Image& img, int k, RankOp op) {
+  DECAM_REQUIRE(!img.empty(), "rank_filter of empty image");
+  DECAM_REQUIRE(k >= 1, "window size must be >= 1");
+  Image out(img.width(), img.height(), img.channels());
+  std::vector<float> window;
+  window.reserve(static_cast<std::size_t>(k) * k);
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        window.clear();
+        for (int dy = 0; dy < k; ++dy) {
+          for (int dx = 0; dx < k; ++dx) {
+            window.push_back(img.at_clamped(x + dx, y + dy, c));
+          }
+        }
+        float value = 0.0f;
+        switch (op) {
+          case RankOp::Min:
+            value = *std::min_element(window.begin(), window.end());
+            break;
+          case RankOp::Max:
+            value = *std::max_element(window.begin(), window.end());
+            break;
+          case RankOp::Median: {
+            auto mid = window.begin() + window.size() / 2;
+            std::nth_element(window.begin(), mid, window.end());
+            value = *mid;
+            break;
+          }
+        }
+        out.at(x, y, c) = value;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Horizontal then vertical pass with an arbitrary normalised 1-D kernel.
+Image separable_convolve(const Image& img, const std::vector<float>& kernel) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  Image mid(img.width(), img.height(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 img.at_clamped(x + i, y, c);
+        }
+        mid.at(x, y, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  Image out(img.width(), img.height(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 mid.at_clamped(x, y + i, c);
+        }
+        out.at(x, y, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image box_blur(const Image& img, int k) {
+  DECAM_REQUIRE(k >= 1 && k % 2 == 1, "box blur needs odd window size");
+  std::vector<float> kernel(static_cast<std::size_t>(k), 1.0f / k);
+  return separable_convolve(img, kernel);
+}
+
+Image gaussian_blur(const Image& img, double sigma) {
+  DECAM_REQUIRE(sigma > 0.0, "sigma must be positive");
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double w = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(w);
+    sum += w;
+  }
+  for (float& w : kernel) w = static_cast<float>(w / sum);
+  return separable_convolve(img, kernel);
+}
+
+}  // namespace decam

@@ -1,0 +1,40 @@
+// Spatial filters. The paper's filtering detection method (Section III-B)
+// runs a k x k MINIMUM filter over the input; median and maximum are
+// implemented alongside because the paper compares all three (its Fig. 4)
+// and the ablation benches sweep them. Box/Gaussian blur support the
+// synthetic dataset generator and robustness experiments.
+//
+// Border handling: edge replication (same as the clamped taps used by the
+// scalers), window anchored at the top-left as in erode/dilate with an
+// even-sized structuring element — a 2x2 window at (x, y) covers
+// {x, x+1} x {y, y+1}.
+#pragma once
+
+#include "imaging/image.h"
+
+namespace decam {
+
+enum class RankOp { Min, Median, Max };
+
+/// k x k rank filter (k >= 1). Each output pixel is the min/median/max of
+/// the window anchored at that pixel, per channel.
+Image rank_filter(const Image& img, int k, RankOp op);
+
+inline Image min_filter(const Image& img, int k = 2) {
+  return rank_filter(img, k, RankOp::Min);
+}
+inline Image median_filter(const Image& img, int k = 3) {
+  return rank_filter(img, k, RankOp::Median);
+}
+inline Image max_filter(const Image& img, int k = 2) {
+  return rank_filter(img, k, RankOp::Max);
+}
+
+/// k x k box (mean) blur with edge replication; k must be odd.
+Image box_blur(const Image& img, int k);
+
+/// Separable Gaussian blur with standard deviation `sigma` (> 0); the
+/// kernel radius is ceil(3 * sigma).
+Image gaussian_blur(const Image& img, double sigma);
+
+}  // namespace decam

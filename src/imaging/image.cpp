@@ -1,0 +1,144 @@
+#include "imaging/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decam {
+
+Image::Image(int width, int height, int channels, float fill)
+    : width_(width), height_(height), channels_(channels) {
+  DECAM_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  DECAM_REQUIRE(channels > 0, "channel count must be positive");
+  data_.assign(static_cast<std::size_t>(width) * height * channels, fill);
+}
+
+float Image::at_clamped(int x, int y, int c) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return data_[index(x, y, c)];
+}
+
+std::span<float> Image::plane(int c) {
+  DECAM_REQUIRE(c >= 0 && c < channels_, "channel out of range");
+  return {data_.data() + c * plane_size(), plane_size()};
+}
+
+std::span<const float> Image::plane(int c) const {
+  DECAM_REQUIRE(c >= 0 && c < channels_, "channel out of range");
+  return {data_.data() + c * plane_size(), plane_size()};
+}
+
+std::span<float> Image::row(int y, int c) {
+  DECAM_REQUIRE(y >= 0 && y < height_, "row out of range");
+  DECAM_REQUIRE(c >= 0 && c < channels_, "channel out of range");
+  return {data_.data() + index(0, y, c), static_cast<std::size_t>(width_)};
+}
+
+std::span<const float> Image::row(int y, int c) const {
+  DECAM_REQUIRE(y >= 0 && y < height_, "row out of range");
+  DECAM_REQUIRE(c >= 0 && c < channels_, "channel out of range");
+  return {data_.data() + index(0, y, c), static_cast<std::size_t>(width_)};
+}
+
+Image& Image::clamp(float lo, float hi) {
+  DECAM_REQUIRE(lo <= hi, "clamp bounds inverted");
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+Image& Image::operator+=(const Image& other) {
+  DECAM_REQUIRE(same_shape(other), "shape mismatch in operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Image& Image::operator-=(const Image& other) {
+  DECAM_REQUIRE(same_shape(other), "shape mismatch in operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Image& Image::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+std::vector<std::uint8_t> Image::to_u8() const {
+  std::vector<std::uint8_t> out(size());
+  std::size_t i = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      for (int c = 0; c < channels_; ++c) {
+        const float v = std::clamp(data_[index(x, y, c)], 0.0f, 255.0f);
+        out[i++] = static_cast<std::uint8_t>(std::lround(v));
+      }
+    }
+  }
+  return out;
+}
+
+Image Image::from_u8(std::span<const std::uint8_t> data, int width, int height,
+                     int channels) {
+  DECAM_REQUIRE(data.size() == static_cast<std::size_t>(width) * height * channels,
+                "interleaved byte buffer size mismatch");
+  Image img(width, height, channels);
+  std::size_t i = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        img.at(x, y, c) = static_cast<float>(data[i++]);
+      }
+    }
+  }
+  return img;
+}
+
+Image Image::extract_channel(int c) const {
+  DECAM_REQUIRE(c >= 0 && c < channels_, "channel out of range");
+  Image out(width_, height_, 1);
+  auto src = plane(c);
+  std::copy(src.begin(), src.end(), out.plane(0).begin());
+  return out;
+}
+
+Image Image::from_channels(std::span<const Image> planes) {
+  DECAM_REQUIRE(!planes.empty(), "need at least one plane");
+  const Image& first = planes.front();
+  DECAM_REQUIRE(first.channels() == 1, "plane images must be single-channel");
+  Image out(first.width(), first.height(), static_cast<int>(planes.size()));
+  for (std::size_t c = 0; c < planes.size(); ++c) {
+    DECAM_REQUIRE(planes[c].same_shape(first), "plane shape mismatch");
+    auto src = planes[c].plane(0);
+    std::copy(src.begin(), src.end(), out.plane(static_cast<int>(c)).begin());
+  }
+  return out;
+}
+
+float Image::min_value() const {
+  DECAM_REQUIRE(!empty(), "min_value of empty image");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Image::max_value() const {
+  DECAM_REQUIRE(!empty(), "max_value of empty image");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Image::mean_value() const {
+  DECAM_REQUIRE(!empty(), "mean_value of empty image");
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+Image absdiff(const Image& a, const Image& b) {
+  DECAM_REQUIRE(a.same_shape(b), "shape mismatch in absdiff");
+  Image out(a.width(), a.height(), a.channels());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = std::fabs(pa[i] - pb[i]);
+  return out;
+}
+
+}  // namespace decam

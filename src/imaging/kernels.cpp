@@ -1,0 +1,162 @@
+#include "imaging/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace decam {
+
+const char* to_string(ScaleAlgo algo) {
+  switch (algo) {
+    case ScaleAlgo::Nearest: return "nearest";
+    case ScaleAlgo::Bilinear: return "bilinear";
+    case ScaleAlgo::Bicubic: return "bicubic";
+    case ScaleAlgo::Area: return "area";
+    case ScaleAlgo::Lanczos4: return "lanczos4";
+  }
+  return "?";
+}
+
+double cubic_weight(double t) {
+  // Keys (1981) cubic convolution with a = -0.75, the value OpenCV uses.
+  constexpr double a = -0.75;
+  t = std::fabs(t);
+  if (t <= 1.0) return ((a + 2.0) * t - (a + 3.0)) * t * t + 1.0;
+  if (t < 2.0) return (((t - 5.0) * t + 8.0) * t - 4.0) * a;
+  return 0.0;
+}
+
+double lanczos4_weight(double t) {
+  constexpr double a = 4.0;
+  t = std::fabs(t);
+  if (t < 1e-9) return 1.0;
+  if (t >= a) return 0.0;
+  const double pt = std::numbers::pi * t;
+  return a * std::sin(pt) * std::sin(pt / a) / (pt * pt);
+}
+
+namespace {
+
+// Generic windowed-kernel table: fixed support, no anti-alias widening.
+KernelTable windowed_table(int in_size, int out_size, int support,
+                           double (*kernel)(double)) {
+  KernelTable table;
+  table.in_size = in_size;
+  table.out_size = out_size;
+  table.taps.resize(static_cast<std::size_t>(out_size));
+  const double scale = static_cast<double>(in_size) / out_size;
+  for (int o = 0; o < out_size; ++o) {
+    const double center = (o + 0.5) * scale - 0.5;
+    const int first = static_cast<int>(std::floor(center)) - support + 1;
+    auto& taps = table.taps[static_cast<std::size_t>(o)];
+    taps.reserve(static_cast<std::size_t>(2 * support));
+    double sum = 0.0;
+    for (int i = first; i < first + 2 * support; ++i) {
+      const double w = kernel(center - i);
+      if (w == 0.0) continue;
+      const int clamped = std::clamp(i, 0, in_size - 1);
+      taps.push_back({clamped, static_cast<float>(w)});
+      sum += w;
+    }
+    DECAM_ASSERT(!taps.empty() && sum > 0.0);
+    for (Tap& tap : taps) tap.weight = static_cast<float>(tap.weight / sum);
+    // Merge duplicate indices produced by border clamping so the table is a
+    // well-formed sparse operator (one entry per source index).
+    std::sort(taps.begin(), taps.end(),
+              [](const Tap& a, const Tap& b) { return a.index < b.index; });
+    std::size_t w_idx = 0;
+    for (std::size_t r = 1; r < taps.size(); ++r) {
+      if (taps[r].index == taps[w_idx].index) {
+        taps[w_idx].weight += taps[r].weight;
+      } else {
+        taps[++w_idx] = taps[r];
+      }
+    }
+    taps.resize(w_idx + 1);
+  }
+  return table;
+}
+
+double linear_weight(double t) {
+  t = std::fabs(t);
+  return t < 1.0 ? 1.0 - t : 0.0;
+}
+
+KernelTable nearest_table(int in_size, int out_size) {
+  KernelTable table;
+  table.in_size = in_size;
+  table.out_size = out_size;
+  table.taps.resize(static_cast<std::size_t>(out_size));
+  const double scale = static_cast<double>(in_size) / out_size;
+  for (int o = 0; o < out_size; ++o) {
+    // cv::resize INTER_NEAREST: sx = floor(dx * scale).
+    const int src = std::clamp(static_cast<int>(std::floor(o * scale)), 0,
+                               in_size - 1);
+    table.taps[static_cast<std::size_t>(o)] = {{src, 1.0f}};
+  }
+  return table;
+}
+
+KernelTable area_table(int in_size, int out_size) {
+  KernelTable table;
+  table.in_size = in_size;
+  table.out_size = out_size;
+  table.taps.resize(static_cast<std::size_t>(out_size));
+  const double scale = static_cast<double>(in_size) / out_size;
+  if (out_size >= in_size) {
+    // Upscaling: INTER_AREA degenerates to bilinear, as in OpenCV.
+    return windowed_table(in_size, out_size, 1, linear_weight);
+  }
+  for (int o = 0; o < out_size; ++o) {
+    const double lo = o * scale;
+    const double hi = (o + 1) * scale;
+    auto& taps = table.taps[static_cast<std::size_t>(o)];
+    const int first = static_cast<int>(std::floor(lo));
+    const int last = std::min(static_cast<int>(std::ceil(hi)), in_size);
+    double sum = 0.0;
+    for (int i = first; i < last; ++i) {
+      const double cover =
+          std::min<double>(hi, i + 1) - std::max<double>(lo, i);
+      if (cover <= 0.0) continue;
+      taps.push_back({std::clamp(i, 0, in_size - 1),
+                      static_cast<float>(cover)});
+      sum += cover;
+    }
+    DECAM_ASSERT(!taps.empty() && sum > 0.0);
+    for (Tap& tap : taps) tap.weight = static_cast<float>(tap.weight / sum);
+  }
+  return table;
+}
+
+}  // namespace
+
+KernelTable make_kernel_table(int in_size, int out_size, ScaleAlgo algo) {
+  DECAM_REQUIRE(in_size > 0 && out_size > 0, "sizes must be positive");
+  switch (algo) {
+    case ScaleAlgo::Nearest:
+      return nearest_table(in_size, out_size);
+    case ScaleAlgo::Bilinear:
+      return windowed_table(in_size, out_size, 1, linear_weight);
+    case ScaleAlgo::Bicubic:
+      return windowed_table(in_size, out_size, 2, cubic_weight);
+    case ScaleAlgo::Area:
+      return area_table(in_size, out_size);
+    case ScaleAlgo::Lanczos4:
+      return windowed_table(in_size, out_size, 4, lanczos4_weight);
+  }
+  DECAM_ASSERT(false);
+}
+
+void apply_kernel(const KernelTable& table, const float* in, int in_stride,
+                  float* out, int out_stride) {
+  for (int o = 0; o < table.out_size; ++o) {
+    double acc = 0.0;
+    for (const Tap& tap : table.taps[static_cast<std::size_t>(o)]) {
+      acc += static_cast<double>(tap.weight) *
+             in[static_cast<std::size_t>(tap.index) * in_stride];
+    }
+    out[static_cast<std::size_t>(o) * out_stride] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace decam

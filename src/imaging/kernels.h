@@ -1,0 +1,64 @@
+// 1-D resampling kernels and precomputed tap tables.
+//
+// Every scaler in this library is separable: a 2-D resize is a horizontal
+// 1-D resample followed by a vertical one. A 1-D resample from `in` samples
+// to `out` samples is fully described by a table of weighted taps per output
+// index — exactly the sparse linear operator the image-scaling attack
+// exploits (src/attack/coeff_matrix.h re-exports these tables as matrices).
+//
+// Coordinate convention: we follow OpenCV/TensorFlow half-pixel mapping,
+//     src = (dst + 0.5) * (in / out) - 0.5
+// and — crucially for reproducing the attack — we do NOT widen the kernel
+// support when downscaling (no anti-aliasing) for Nearest/Bilinear/Bicubic/
+// Lanczos4, matching cv::resize. Only ScaleAlgo::Area averages the full
+// source footprint; it is the "robust" scaler of Quiring et al.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace decam {
+
+/// Interpolation algorithms mirroring cv::resize's INTER_* family.
+enum class ScaleAlgo {
+  Nearest,   // INTER_NEAREST: src = floor(dst * in/out)
+  Bilinear,  // INTER_LINEAR, 2 taps
+  Bicubic,   // INTER_CUBIC, Keys a = -0.75, 4 taps
+  Area,      // INTER_AREA: box average of the source footprint
+  Lanczos4,  // INTER_LANCZOS4, 8 taps
+};
+
+const char* to_string(ScaleAlgo algo);
+
+/// One weighted source sample contributing to an output sample.
+struct Tap {
+  int index;     // clamped source index in [0, in_size)
+  float weight;  // kernel weight; weights of one output sample sum to 1
+};
+
+/// Tap lists for every output index of a 1-D resample.
+struct KernelTable {
+  int in_size = 0;
+  int out_size = 0;
+  // taps[o] lists the source samples blended into output sample o.
+  std::vector<std::vector<Tap>> taps;
+};
+
+/// Builds the tap table for resampling a length-`in_size` signal to
+/// `out_size` samples with `algo`. Throws std::invalid_argument for
+/// non-positive sizes.
+KernelTable make_kernel_table(int in_size, int out_size, ScaleAlgo algo);
+
+/// Kernel profile functions (exposed for tests / analysis).
+/// Keys bicubic with a = -0.75 evaluated at distance |t| <= 2.
+double cubic_weight(double t);
+/// Lanczos window with a = 4 evaluated at |t| <= 4.
+double lanczos4_weight(double t);
+
+/// Applies a tap table to one stride-`stride` signal: out[o] = sum w*in[tap].
+/// `in` must hold in_size elements at the given stride, `out` out_size.
+void apply_kernel(const KernelTable& table, const float* in, int in_stride,
+                  float* out, int out_stride);
+
+}  // namespace decam

@@ -1,0 +1,31 @@
+// 2-D image resampling built on the 1-D kernel tables of kernels.h.
+//
+// resize() is the function every Decamouflage detector and every attack uses
+// as its model of the victim pipeline's pre-processing step. It matches
+// cv::resize semantics per interpolation mode (see kernels.h for the
+// coordinate convention and the deliberate absence of anti-aliasing).
+#pragma once
+
+#include "imaging/image.h"
+#include "imaging/kernels.h"
+
+namespace decam {
+
+/// Resamples `src` to out_width x out_height with the given algorithm.
+/// All channels are processed independently; output values are NOT clamped
+/// (bicubic/lanczos can overshoot — callers quantising to 8-bit should
+/// clamp, and the detectors deliberately operate on the raw values).
+Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo);
+
+/// Convenience: square resize, the common CNN-input case (e.g. 224).
+inline Image resize(const Image& src, int out_side, ScaleAlgo algo) {
+  return resize(src, out_side, out_side, algo);
+}
+
+/// Downscale-then-upscale round trip back to the source geometry — the core
+/// operation of the paper's scaling detection method (Section III-A).
+/// `down` is the victim pipeline's scaler; `up` the reconstruction scaler.
+Image scale_round_trip(const Image& src, int down_width, int down_height,
+                       ScaleAlgo down, ScaleAlgo up);
+
+}  // namespace decam

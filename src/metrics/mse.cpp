@@ -1,0 +1,28 @@
+#include "metrics/mse.h"
+
+#include <cmath>
+#include <limits>
+
+namespace decam {
+
+double mse(const Image& a, const Image& b) {
+  DECAM_REQUIRE(a.same_shape(b), "mse: shape mismatch");
+  DECAM_REQUIRE(!a.empty(), "mse of empty images");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double err = mse(a, b);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  constexpr double peak = 255.0;
+  return 10.0 * std::log10(peak * peak / err);
+}
+
+}  // namespace decam

@@ -1,0 +1,253 @@
+#include "ml/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decam::ml {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, data::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel) {
+  DECAM_REQUIRE(in_channels > 0 && out_channels > 0 && kernel > 0,
+                "conv dimensions must be positive");
+  const std::size_t count = static_cast<std::size_t>(out_channels) *
+                            in_channels * kernel * kernel;
+  weights_.resize(count);
+  grad_weights_.assign(count, 0.0f);
+  bias_.assign(static_cast<std::size_t>(out_channels), 0.0f);
+  grad_bias_.assign(bias_.size(), 0.0f);
+  // He initialisation: std = sqrt(2 / fan_in).
+  const double std_dev =
+      std::sqrt(2.0 / (static_cast<double>(in_channels) * kernel * kernel));
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.next_gaussian() * std_dev);
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  DECAM_REQUIRE(input.channels() == in_channels_,
+                "conv input channel mismatch");
+  DECAM_REQUIRE(input.height() >= kernel_ && input.width() >= kernel_,
+                "conv input smaller than kernel");
+  last_input_ = input;
+  const int out_h = input.height() - kernel_ + 1;
+  const int out_w = input.width() - kernel_ + 1;
+  Tensor output(out_channels_, out_h, out_w);
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    for (int y = 0; y < out_h; ++y) {
+      for (int x = 0; x < out_w; ++x) {
+        double acc = bias_[static_cast<std::size_t>(oc)];
+        for (int ic = 0; ic < in_channels_; ++ic) {
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              acc += static_cast<double>(
+                         weights_[weight_index(oc, ic, ky, kx)]) *
+                     input.at(ic, y + ky, x + kx);
+            }
+          }
+        }
+        output.at(oc, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  DECAM_REQUIRE(!last_input_.empty(), "backward before forward");
+  const Tensor& input = last_input_;
+  const int out_h = grad_output.height();
+  const int out_w = grad_output.width();
+  DECAM_REQUIRE(grad_output.channels() == out_channels_ &&
+                    out_h == input.height() - kernel_ + 1 &&
+                    out_w == input.width() - kernel_ + 1,
+                "grad_output shape mismatch");
+  Tensor grad_input(input.channels(), input.height(), input.width());
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    for (int y = 0; y < out_h; ++y) {
+      for (int x = 0; x < out_w; ++x) {
+        const float g = grad_output.at(oc, y, x);
+        if (g == 0.0f) continue;
+        grad_bias_[static_cast<std::size_t>(oc)] += g;
+        for (int ic = 0; ic < in_channels_; ++ic) {
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              grad_weights_[weight_index(oc, ic, ky, kx)] +=
+                  g * input.at(ic, y + ky, x + kx);
+              grad_input.at(ic, y + ky, x + kx) +=
+                  g * weights_[weight_index(oc, ic, ky, kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2D::apply_gradients(float learning_rate) {
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] -= learning_rate * grad_weights_[i];
+    grad_weights_[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    bias_[i] -= learning_rate * grad_bias_[i];
+    grad_bias_[i] = 0.0f;
+  }
+}
+
+Tensor ReLU::forward(const Tensor& input) {
+  last_input_ = input;
+  Tensor output = input;
+  for (float& v : output.flat()) v = std::max(v, 0.0f);
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DECAM_REQUIRE(grad_output.same_shape(last_input_),
+                "relu grad shape mismatch");
+  Tensor grad_input = grad_output;
+  const auto& saved = last_input_.flat();
+  auto& grad = grad_input.flat();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (saved[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+Tensor MaxPool2::forward(const Tensor& input) {
+  last_input_ = input;
+  const int out_h = input.height() / 2;
+  const int out_w = input.width() / 2;
+  DECAM_REQUIRE(out_h > 0 && out_w > 0, "input too small to pool");
+  Tensor output(input.channels(), out_h, out_w);
+  argmax_.assign(static_cast<std::size_t>(input.channels()) * out_h * out_w,
+                 0);
+  std::size_t out_index = 0;
+  for (int c = 0; c < input.channels(); ++c) {
+    for (int y = 0; y < out_h; ++y) {
+      for (int x = 0; x < out_w; ++x) {
+        float best = input.at(c, 2 * y, 2 * x);
+        int best_y = 2 * y, best_x = 2 * x;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const float v = input.at(c, 2 * y + dy, 2 * x + dx);
+            if (v > best) {
+              best = v;
+              best_y = 2 * y + dy;
+              best_x = 2 * x + dx;
+            }
+          }
+        }
+        output.at(c, y, x) = best;
+        argmax_[out_index++] =
+            (c * input.height() + best_y) * input.width() + best_x;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_output) {
+  DECAM_REQUIRE(!last_input_.empty(), "backward before forward");
+  Tensor grad_input(last_input_.channels(), last_input_.height(),
+                    last_input_.width());
+  DECAM_REQUIRE(grad_output.size() == argmax_.size(),
+                "pool grad shape mismatch");
+  const auto& grads = grad_output.flat();
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    grad_input.flat()[static_cast<std::size_t>(argmax_[i])] += grads[i];
+  }
+  return grad_input;
+}
+
+Dense::Dense(int in_features, int out_features, data::Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  DECAM_REQUIRE(in_features > 0 && out_features > 0,
+                "dense dimensions must be positive");
+  weights_.resize(static_cast<std::size_t>(in_features) * out_features);
+  grad_weights_.assign(weights_.size(), 0.0f);
+  bias_.assign(static_cast<std::size_t>(out_features), 0.0f);
+  grad_bias_.assign(bias_.size(), 0.0f);
+  const double std_dev = std::sqrt(2.0 / in_features);
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.next_gaussian() * std_dev);
+  }
+}
+
+std::vector<float> Dense::forward(const std::vector<float>& input) {
+  DECAM_REQUIRE(input.size() == static_cast<std::size_t>(in_features_),
+                "dense input size mismatch");
+  last_input_ = input;
+  std::vector<float> output(static_cast<std::size_t>(out_features_));
+  for (int o = 0; o < out_features_; ++o) {
+    double acc = bias_[static_cast<std::size_t>(o)];
+    const float* row =
+        weights_.data() + static_cast<std::size_t>(o) * in_features_;
+    for (int i = 0; i < in_features_; ++i) {
+      acc += static_cast<double>(row[i]) * input[static_cast<std::size_t>(i)];
+    }
+    output[static_cast<std::size_t>(o)] = static_cast<float>(acc);
+  }
+  return output;
+}
+
+std::vector<float> Dense::backward(const std::vector<float>& grad_output) {
+  DECAM_REQUIRE(grad_output.size() == static_cast<std::size_t>(out_features_),
+                "dense grad size mismatch");
+  DECAM_REQUIRE(!last_input_.empty(), "backward before forward");
+  std::vector<float> grad_input(static_cast<std::size_t>(in_features_), 0.0f);
+  for (int o = 0; o < out_features_; ++o) {
+    const float g = grad_output[static_cast<std::size_t>(o)];
+    grad_bias_[static_cast<std::size_t>(o)] += g;
+    float* grad_row =
+        grad_weights_.data() + static_cast<std::size_t>(o) * in_features_;
+    const float* row =
+        weights_.data() + static_cast<std::size_t>(o) * in_features_;
+    for (int i = 0; i < in_features_; ++i) {
+      grad_row[i] += g * last_input_[static_cast<std::size_t>(i)];
+      grad_input[static_cast<std::size_t>(i)] += g * row[i];
+    }
+  }
+  return grad_input;
+}
+
+void Dense::apply_gradients(float learning_rate) {
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] -= learning_rate * grad_weights_[i];
+    grad_weights_[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    bias_[i] -= learning_rate * grad_bias_[i];
+    grad_bias_[i] = 0.0f;
+  }
+}
+
+std::vector<float> softmax(const std::vector<float>& logits) {
+  DECAM_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const float peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - peak);
+    total += out[i];
+  }
+  for (float& v : out) v = static_cast<float>(v / total);
+  return out;
+}
+
+LossResult softmax_cross_entropy(const std::vector<float>& logits,
+                                 int label) {
+  DECAM_REQUIRE(label >= 0 && label < static_cast<int>(logits.size()),
+                "label out of range");
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  const double p =
+      std::max(result.grad_logits[static_cast<std::size_t>(label)], 1e-12f);
+  result.loss = -std::log(p);
+  result.grad_logits[static_cast<std::size_t>(label)] -= 1.0f;
+  return result;
+}
+
+}  // namespace decam::ml

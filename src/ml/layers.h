@@ -1,0 +1,113 @@
+// CNN layers with manual forward/backward passes. Scope: exactly what the
+// backdoor end-to-end experiment needs — Conv2D (valid padding, stride 1),
+// ReLU, 2x2 max-pooling, a fully-connected head and softmax cross-entropy.
+// Every layer caches its forward activations so backward() can be called
+// immediately after forward() on the same sample (we train with SGD,
+// batch size 1, which keeps the code transparent and single-core fast).
+//
+// Gradient correctness is enforced by numerical-differentiation tests in
+// tests/ml_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "data/rng.h"
+#include "ml/tensor.h"
+
+namespace decam::ml {
+
+/// 2-D convolution, valid padding, stride 1, He-initialised weights.
+class Conv2D {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, data::Rng& rng);
+
+  Tensor forward(const Tensor& input);
+  /// Given dL/d(output), accumulates weight gradients and returns
+  /// dL/d(input). Must follow a forward() on the same input.
+  Tensor backward(const Tensor& grad_output);
+  void apply_gradients(float learning_rate);
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+
+  std::vector<float>& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  std::size_t weight_index(int oc, int ic, int ky, int kx) const {
+    return ((static_cast<std::size_t>(oc) * in_channels_ + ic) * kernel_ +
+            ky) * kernel_ + kx;
+  }
+
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  std::vector<float> weights_;
+  std::vector<float> bias_;
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_bias_;
+  Tensor last_input_;
+};
+
+/// Elementwise max(0, x).
+class ReLU {
+ public:
+  Tensor forward(const Tensor& input);
+  Tensor backward(const Tensor& grad_output);
+
+ private:
+  Tensor last_input_;
+};
+
+/// 2x2 max pooling, stride 2 (odd trailing row/column dropped).
+class MaxPool2 {
+ public:
+  Tensor forward(const Tensor& input);
+  Tensor backward(const Tensor& grad_output);
+
+ private:
+  Tensor last_input_;
+  std::vector<int> argmax_;  // flat input index per output element
+};
+
+/// Fully-connected layer over the flattened tensor.
+class Dense {
+ public:
+  Dense(int in_features, int out_features, data::Rng& rng);
+
+  std::vector<float> forward(const std::vector<float>& input);
+  std::vector<float> backward(const std::vector<float>& grad_output);
+  void apply_gradients(float learning_rate);
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  std::vector<float>& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  std::vector<float> weights_;  // out x in, row-major
+  std::vector<float> bias_;
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_bias_;
+  std::vector<float> last_input_;
+};
+
+/// Numerically-stable softmax.
+std::vector<float> softmax(const std::vector<float>& logits);
+
+/// Cross-entropy loss of softmax(logits) against a one-hot label, plus the
+/// gradient dL/d(logits) = softmax - onehot.
+struct LossResult {
+  double loss = 0.0;
+  std::vector<float> grad_logits;
+};
+LossResult softmax_cross_entropy(const std::vector<float>& logits, int label);
+
+}  // namespace decam::ml

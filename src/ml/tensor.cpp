@@ -1,0 +1,26 @@
+#include "ml/tensor.h"
+
+namespace decam::ml {
+
+Tensor::Tensor(int channels, int height, int width, float fill)
+    : channels_(channels), height_(height), width_(width) {
+  DECAM_REQUIRE(channels > 0 && height > 0 && width > 0,
+                "tensor dimensions must be positive");
+  data_.assign(
+      static_cast<std::size_t>(channels) * height * width, fill);
+}
+
+Tensor Tensor::from_image(const Image& img) {
+  DECAM_REQUIRE(!img.empty(), "from_image of empty image");
+  Tensor out(img.channels(), img.height(), img.width());
+  for (int c = 0; c < img.channels(); ++c) {
+    const auto plane = img.plane(c);
+    float* dst = out.data() + static_cast<std::size_t>(c) * img.plane_size();
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      dst[i] = plane[i] / 255.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace decam::ml

@@ -1,0 +1,66 @@
+// Minimal CHW tensor for the CNN substrate (src/ml). The paper's threat
+// model targets the pre-processing step IN FRONT of a CNN; to demonstrate
+// the full backdoor chain end to end (poison -> train -> trigger ->
+// misclassification) we need an actual trainable model, and that needs a
+// tensor. Deliberately tiny: dense float storage, value semantics, checked
+// accessors — mirrors decam::Image (HWC-planar) but adds the channel-major
+// layout convolution wants.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "imaging/image.h"
+
+namespace decam::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int channels, int height, int width, float fill = 0.0f);
+
+  int channels() const { return channels_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int c, int y, int x) {
+    DECAM_ASSERT(in_bounds(c, y, x));
+    return data_[index(c, y, x)];
+  }
+  float at(int c, int y, int x) const {
+    DECAM_ASSERT(in_bounds(c, y, x));
+    return data_[index(c, y, x)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& flat() { return data_; }
+  const std::vector<float>& flat() const { return data_; }
+
+  bool same_shape(const Tensor& other) const {
+    return channels_ == other.channels_ && height_ == other.height_ &&
+           width_ == other.width_;
+  }
+
+  /// Converts a decam::Image (planar HWC float, values 0..255) into a CHW
+  /// tensor scaled to [0, 1] — the standard CNN input normalisation.
+  static Tensor from_image(const Image& img);
+
+ private:
+  bool in_bounds(int c, int y, int x) const {
+    return c >= 0 && c < channels_ && y >= 0 && y < height_ && x >= 0 &&
+           x < width_;
+  }
+  std::size_t index(int c, int y, int x) const {
+    return (static_cast<std::size_t>(c) * height_ + y) * width_ + x;
+  }
+
+  int channels_ = 0;
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace decam::ml

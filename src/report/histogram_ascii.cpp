@@ -1,0 +1,107 @@
+#include "report/histogram_ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace decam::report {
+namespace {
+
+double transform(double v, bool log_x) {
+  return log_x ? std::log10(std::max(v, 1e-9)) : v;
+}
+
+double untransform(double v, bool log_x) {
+  return log_x ? std::pow(10.0, v) : v;
+}
+
+}  // namespace
+
+std::string render_histogram(std::span<const double> a,
+                             std::span<const double> b,
+                             const HistogramOptions& options) {
+  DECAM_REQUIRE(!a.empty(), "histogram needs at least one sample in set A");
+  DECAM_REQUIRE(options.bins >= 2, "need at least two bins");
+
+  double lo = transform(a[0], options.log_x);
+  double hi = lo;
+  auto widen = [&](std::span<const double> values) {
+    for (double v : values) {
+      const double t = transform(v, options.log_x);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  };
+  widen(a);
+  widen(b);
+  if (options.threshold) {
+    const double t = transform(*options.threshold, options.log_x);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  const double span = std::max(hi - lo, 1e-12);
+
+  std::vector<std::size_t> count_a(static_cast<std::size_t>(options.bins), 0);
+  std::vector<std::size_t> count_b(count_a.size(), 0);
+  auto tally = [&](std::span<const double> values,
+                   std::vector<std::size_t>& counts) {
+    for (double v : values) {
+      const double t = transform(v, options.log_x);
+      const int bin = std::min(
+          static_cast<int>((t - lo) / span * options.bins), options.bins - 1);
+      ++counts[static_cast<std::size_t>(std::max(bin, 0))];
+    }
+  };
+  tally(a, count_a);
+  tally(b, count_b);
+
+  std::size_t peak = 1;
+  for (std::size_t i = 0; i < count_a.size(); ++i) {
+    peak = std::max({peak, count_a[i], count_b[i]});
+  }
+
+  // Which bin the threshold falls into (marker line).
+  int threshold_bin = -1;
+  if (options.threshold) {
+    const double t = transform(*options.threshold, options.log_x);
+    threshold_bin = std::clamp(
+        static_cast<int>((t - lo) / span * options.bins), 0,
+        options.bins - 1);
+  }
+
+  std::ostringstream out;
+  out << "  " << options.label_a << ": '#' (" << a.size() << " samples)";
+  if (!b.empty()) {
+    out << "   " << options.label_b << ": '*' (" << b.size() << " samples)";
+  }
+  if (options.log_x) out << "   [log-x]";
+  out << "\n";
+  for (int bin = 0; bin < options.bins; ++bin) {
+    const double left = untransform(lo + span * bin / options.bins,
+                                    options.log_x);
+    const std::size_t ca = count_a[static_cast<std::size_t>(bin)];
+    const std::size_t cb = count_b[static_cast<std::size_t>(bin)];
+    const int bar_a = static_cast<int>(
+        std::lround(static_cast<double>(ca) * options.max_bar / peak));
+    const int bar_b = static_cast<int>(
+        std::lround(static_cast<double>(cb) * options.max_bar / peak));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%12.4g", left);
+    out << label << " | " << std::string(static_cast<std::size_t>(bar_a), '#')
+        << std::string(static_cast<std::size_t>(bar_b), '*');
+    if (ca > 0 || cb > 0) {
+      out << "  (" << ca;
+      if (!b.empty()) out << "/" << cb;
+      out << ")";
+    }
+    if (bin == threshold_bin) out << "   <-- threshold";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace decam::report

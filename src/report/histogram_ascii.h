@@ -1,0 +1,28 @@
+// Text histograms standing in for the paper's distribution figures: each
+// bin renders as a bar of '#' characters, with benign and attack samples
+// overlaid side by side and the chosen threshold marked — enough to see the
+// separation (or, for PSNR, the overlap) the figures show.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+namespace decam::report {
+
+struct HistogramOptions {
+  int bins = 24;
+  int max_bar = 48;                   // widest bar in characters
+  std::optional<double> threshold;    // draws a "<-- threshold" marker
+  std::string label_a = "benign";
+  std::string label_b = "attack";
+  bool log_x = false;                 // bin on log10(value) for MSE-like data
+};
+
+/// Renders two overlaid sample sets (b may be empty for single-class
+/// figures) into an ASCII histogram.
+std::string render_histogram(std::span<const double> a,
+                             std::span<const double> b,
+                             const HistogramOptions& options);
+
+}  // namespace decam::report

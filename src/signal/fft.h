@@ -1,0 +1,39 @@
+// Fast Fourier Transform substrate for the steganalysis detector.
+//
+// Supports arbitrary lengths: power-of-two sizes run an iterative radix-2
+// Cooley-Tukey; everything else goes through Bluestein's chirp-z algorithm
+// (which internally uses a padded radix-2 convolution). Real images of any
+// geometry — Caltech-style 300x451, say — therefore transform exactly, not
+// via cropping or zero-padding that would distort the spectrum the detector
+// inspects.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace decam {
+
+using Complex = std::complex<double>;
+
+/// In-place forward/inverse FFT of arbitrary length n >= 1.
+/// The inverse includes the 1/n normalisation, so ifft(fft(x)) == x.
+void fft(std::vector<Complex>& data, bool inverse);
+
+/// Out-of-place 1-D convenience wrappers.
+std::vector<Complex> fft(const std::vector<Complex>& data);
+std::vector<Complex> ifft(const std::vector<Complex>& data);
+
+/// Row-major 2-D FFT of a height x width grid (rows first, then columns).
+void fft2d(std::vector<Complex>& data, int width, int height, bool inverse);
+
+/// Forward 2-D DFT of a single-channel image (values used as reals).
+/// Multi-channel inputs are converted to luma first.
+std::vector<Complex> fft2d(const Image& img);
+
+/// Swaps quadrants so the zero-frequency bin moves to the centre — the
+/// "centering" step of the paper's Eq. (4). Self-inverse for even sizes.
+void fftshift(std::vector<Complex>& data, int width, int height);
+
+}  // namespace decam

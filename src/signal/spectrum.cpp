@@ -1,0 +1,31 @@
+#include "signal/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decam {
+
+std::vector<double> centered_log_magnitudes(const Image& img) {
+  std::vector<Complex> freq = fft2d(img);
+  fftshift(freq, img.width(), img.height());
+  std::vector<double> logmag(freq.size());
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    logmag[i] = std::log1p(std::abs(freq[i]));
+  }
+  return logmag;
+}
+
+Image centered_log_spectrum(const Image& img) {
+  const std::vector<double> logmag = centered_log_magnitudes(img);
+  const auto [lo_it, hi_it] = std::minmax_element(logmag.begin(), logmag.end());
+  const double lo = *lo_it;
+  const double span = std::max(*hi_it - lo, 1e-12);
+  Image out(img.width(), img.height(), 1);
+  auto plane = out.plane(0);
+  for (std::size_t i = 0; i < logmag.size(); ++i) {
+    plane[i] = static_cast<float>(255.0 * (logmag[i] - lo) / span);
+  }
+  return out;
+}
+
+}  // namespace decam

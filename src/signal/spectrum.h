@@ -1,0 +1,21 @@
+// Centered log-magnitude spectrum — Eq. (4) of the paper: the DFT is
+// shifted so the DC bin sits at the image centre, and log(1 + |F|) maps the
+// enormous dynamic range into something thresholdable. The steganalysis
+// detector then binarises this spectrum and counts bright blobs ("centered
+// spectrum points", CSP).
+#pragma once
+
+#include "imaging/image.h"
+#include "signal/fft.h"
+
+namespace decam {
+
+/// Computes the centered log-magnitude spectrum of `img` (luma is taken for
+/// color inputs) and linearly normalises it to [0, 255]. The output has the
+/// same geometry as the input, 1 channel.
+Image centered_log_spectrum(const Image& img);
+
+/// Raw (unnormalised) log magnitudes, for callers needing exact values.
+std::vector<double> centered_log_magnitudes(const Image& img);
+
+}  // namespace decam

@@ -1,0 +1,200 @@
+// Tests for the adaptive attack (noise masking vs the CSP detector) and
+// the Quiring reconstruction defence baseline: critical-pixel geometry,
+// payload invariance, defence efficacy and its benign-quality cost.
+#include <gtest/gtest.h>
+
+#include "attack/adaptive.h"
+#include "attack/critical_pixels.h"
+#include "core/reconstruction_defense.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "metrics/mse.h"
+#include "metrics/ssim.h"
+
+namespace decam {
+namespace {
+
+Image make_scene(int side, std::uint64_t seed) {
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = side;
+  data::Rng rng(seed);
+  return generate_scene(params, rng);
+}
+
+TEST(CriticalPixels, NearestReadsExactlyOnePixelPerOutput) {
+  const auto matrix =
+      attack::CoeffMatrix::for_scaling(64, 16, ScaleAlgo::Nearest);
+  const std::vector<bool> flags = attack::critical_indices(matrix);
+  int count = 0;
+  for (bool f : flags) count += f ? 1 : 0;
+  EXPECT_EQ(count, 16);
+  EXPECT_TRUE(flags[0]);   // floor(0 * 4)
+  EXPECT_TRUE(flags[4]);   // floor(1 * 4)
+  EXPECT_FALSE(flags[1]);
+}
+
+TEST(CriticalPixels, FractionMatchesKernelFootprint) {
+  // Bilinear at ratio 4: 2 critical columns and rows per output sample ->
+  // (2*16)/64 per axis -> 1/2 * 1/2 = 1/4... of the 1/2 axes: 0.25.
+  const double nearest =
+      attack::critical_fraction(64, 64, 16, 16, ScaleAlgo::Nearest);
+  const double bilinear =
+      attack::critical_fraction(64, 64, 16, 16, ScaleAlgo::Bilinear);
+  const double area =
+      attack::critical_fraction(64, 64, 16, 16, ScaleAlgo::Area);
+  EXPECT_NEAR(nearest, 16.0 * 16.0 / (64.0 * 64.0), 1e-9);
+  EXPECT_GT(bilinear, nearest);
+  EXPECT_NEAR(area, 1.0, 1e-9);  // area averaging reads EVERY pixel
+}
+
+TEST(CriticalPixels, MaskAgreesWithFraction) {
+  const Image mask =
+      attack::critical_mask(48, 40, 12, 10, ScaleAlgo::Bilinear);
+  int lit = 0;
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      if (mask.at(x, y, 0) > 0.0f) ++lit;
+    }
+  }
+  const double fraction =
+      attack::critical_fraction(48, 40, 12, 10, ScaleAlgo::Bilinear);
+  EXPECT_NEAR(static_cast<double>(lit) / (48.0 * 40.0), fraction, 1e-9);
+}
+
+TEST(NoiseMaskedAttack, PayloadSurvivesNoise) {
+  const Image scene = make_scene(128, 1);
+  data::Rng target_rng(2);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::NoiseMaskOptions options;
+  options.base.algo = ScaleAlgo::Bilinear;
+  options.base.eps = 2.0;
+  options.noise_amplitude = 24.0;
+  const attack::AttackResult adaptive =
+      attack::noise_masked_attack(scene, target, options);
+  // The noise only lands on pixels the scaler never reads: the downscale
+  // error stays within the quantisation-augmented bound.
+  EXPECT_LE(adaptive.report.downscale_linf, options.base.eps + 2.5);
+}
+
+TEST(NoiseMaskedAttack, CspDetectorResistsSpectralMasking) {
+  // The natural anti-CSP adaptive move — bury the harmonics under noise on
+  // the pixels the scaler never reads — does NOT work: the harmonics come
+  // from the critical-pixel deltas the attacker cannot soften, and the
+  // noise only makes the image more suspicious to the other methods.
+  const Image scene = make_scene(128, 3);
+  data::Rng target_rng(4);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions plain_options;
+  plain_options.algo = ScaleAlgo::Bilinear;
+  plain_options.eps = 2.0;
+  const attack::AttackResult plain =
+      attack::craft_attack(scene, target, plain_options);
+  attack::NoiseMaskOptions adaptive_options;
+  adaptive_options.base = plain_options;
+  adaptive_options.noise_amplitude = 28.0;
+  const attack::AttackResult adaptive =
+      attack::noise_masked_attack(scene, target, adaptive_options);
+
+  const core::SteganalysisDetector steg{};
+  EXPECT_GE(steg.count_csp(adaptive.image), 2);  // still caught
+
+  core::ScalingDetectorConfig scaling_config;
+  scaling_config.down_width = scaling_config.down_height = 32;
+  scaling_config.metric = core::Metric::MSE;
+  const core::ScalingDetector scaling{scaling_config};
+  // The masking noise only ADDS round-trip error for the scaling method.
+  EXPECT_GE(scaling.score(adaptive.image), scaling.score(plain.image));
+  EXPECT_GT(scaling.score(adaptive.image), 10.0 * scaling.score(scene));
+  // And it costs the attacker visual stealth.
+  EXPECT_LE(adaptive.report.source_ssim, plain.report.source_ssim + 1e-6);
+}
+
+TEST(NoiseMaskedAttack, ZeroAmplitudeEqualsPlainAttack) {
+  const Image scene = make_scene(96, 5);
+  data::Rng target_rng(6);
+  const Image target = data::generate_target(24, 24, target_rng);
+  attack::NoiseMaskOptions options;
+  options.base.algo = ScaleAlgo::Bilinear;
+  options.noise_amplitude = 0.0;
+  const attack::AttackResult adaptive =
+      attack::noise_masked_attack(scene, target, options);
+  const attack::AttackResult plain =
+      attack::craft_attack(scene, target, options.base);
+  EXPECT_DOUBLE_EQ(mse(adaptive.image, plain.image), 0.0);
+  options.noise_amplitude = -1.0;
+  EXPECT_THROW(attack::noise_masked_attack(scene, target, options),
+               std::invalid_argument);
+}
+
+TEST(ReconstructionDefense, NeutralisesTheAttack) {
+  const Image scene = make_scene(128, 7);
+  data::Rng target_rng(8);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions attack_options;
+  attack_options.algo = ScaleAlgo::Bilinear;
+  const attack::AttackResult attack_result =
+      attack::craft_attack(scene, target, attack_options);
+
+  core::ReconstructionConfig config;
+  config.target_width = config.target_height = 32;
+  config.algo = ScaleAlgo::Bilinear;
+  const Image cleansed =
+      core::reconstruct_critical_pixels(attack_result.image, config);
+  const Image seen = resize(cleansed, 32, 32, ScaleAlgo::Bilinear);
+  // Before: downscale == target. After: target payload destroyed.
+  EXPECT_LT(attack_result.report.downscale_mse, 20.0);
+  EXPECT_GT(mse(seen, target), 500.0);
+}
+
+TEST(ReconstructionDefense, DegradesBenignInputs) {
+  // The drawback the paper cites: the defence rewrites pixels of EVERY
+  // image, so what the model sees changes even for benign inputs. Use a
+  // crisp scene — the sharper the photo, the bigger the quality tax.
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = 128;
+  params.blur_sigma_min = 0.5;
+  params.blur_sigma_max = 0.6;
+  data::Rng rng(9);
+  const Image scene = generate_scene(params, rng);
+  core::ReconstructionConfig config;
+  config.target_width = config.target_height = 32;
+  const Image cleansed = core::reconstruct_critical_pixels(scene, config);
+  const Image seen_before = resize(scene, 32, 32, ScaleAlgo::Bilinear);
+  const Image seen_after = resize(cleansed, 32, 32, ScaleAlgo::Bilinear);
+  EXPECT_GT(mse(seen_before, seen_after), 1.0);   // model input changed
+  EXPECT_LT(ssim(scene, cleansed), 1.0);          // image modified
+  // Decamouflage's detectors by contrast leave the input untouched.
+}
+
+TEST(ReconstructionDefense, ValidatesConfig) {
+  const Image scene = make_scene(64, 10);
+  core::ReconstructionConfig config;
+  config.target_width = 0;
+  EXPECT_THROW(core::reconstruct_critical_pixels(scene, config),
+               std::invalid_argument);
+  config = {};
+  config.neighbourhood = 0;
+  EXPECT_THROW(core::reconstruct_critical_pixels(scene, config),
+               std::invalid_argument);
+  EXPECT_THROW(core::reconstruct_critical_pixels(Image(), config),
+               std::invalid_argument);
+}
+
+TEST(ReconstructionDefense, AllCriticalFallsBackGracefully) {
+  // Area scaling reads every pixel: the "clean neighbour" pool is empty
+  // everywhere and the defence degenerates to a median filter, but it must
+  // not crash or leave pixels unset.
+  const Image scene = make_scene(64, 11);
+  core::ReconstructionConfig config;
+  config.target_width = config.target_height = 16;
+  config.algo = ScaleAlgo::Area;
+  const Image cleansed = core::reconstruct_critical_pixels(scene, config);
+  EXPECT_TRUE(cleansed.same_shape(scene));
+  EXPECT_GE(cleansed.min_value(), 0.0f);
+  EXPECT_LE(cleansed.max_value(), 255.0f);
+}
+
+}  // namespace
+}  // namespace decam

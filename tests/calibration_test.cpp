@@ -1,0 +1,168 @@
+// Tests for white-box threshold search and black-box percentile
+// calibration.
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/rng.h"
+
+namespace decam::core {
+namespace {
+
+TEST(IsAttack, RespectsPolarity) {
+  const Calibration high{10.0, Polarity::HighIsAttack, 0.0};
+  EXPECT_TRUE(is_attack(10.0, high));
+  EXPECT_TRUE(is_attack(11.0, high));
+  EXPECT_FALSE(is_attack(9.9, high));
+  const Calibration low{10.0, Polarity::LowIsAttack, 0.0};
+  EXPECT_TRUE(is_attack(10.0, low));
+  EXPECT_TRUE(is_attack(9.0, low));
+  EXPECT_FALSE(is_attack(10.1, low));
+}
+
+TEST(WhiteBox, PerfectlySeparableDataGetsPerfectAccuracy) {
+  const std::vector<double> benign = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> attack = {10.0, 11.0, 12.0};
+  const WhiteBoxResult result = calibrate_white_box(benign, attack);
+  EXPECT_DOUBLE_EQ(result.calibration.train_accuracy, 1.0);
+  EXPECT_EQ(result.calibration.polarity, Polarity::HighIsAttack);
+  EXPECT_GT(result.calibration.threshold, 4.0);
+  EXPECT_LE(result.calibration.threshold, 10.0);
+}
+
+TEST(WhiteBox, DetectsLowIsAttackPolarity) {
+  // SSIM-like scores: attacks are LOW.
+  const std::vector<double> benign = {0.95, 0.97, 0.99};
+  const std::vector<double> attack = {0.2, 0.3, 0.4};
+  const WhiteBoxResult result = calibrate_white_box(benign, attack);
+  EXPECT_EQ(result.calibration.polarity, Polarity::LowIsAttack);
+  EXPECT_DOUBLE_EQ(result.calibration.train_accuracy, 1.0);
+  EXPECT_GE(result.calibration.threshold, 0.4);
+  EXPECT_LT(result.calibration.threshold, 0.95);
+}
+
+TEST(WhiteBox, OverlappingDataPicksBestTradeoff) {
+  const std::vector<double> benign = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> attack = {5, 6, 7, 8, 9, 10};
+  const WhiteBoxResult result = calibrate_white_box(benign, attack);
+  // Optimum: threshold in (4, 5] flags {5..10} -> 2 benign misclassified
+  // (5, 6) and all attacks caught: accuracy 10/12. Verify the search found
+  // an assignment at least that good.
+  EXPECT_GE(result.calibration.train_accuracy, 10.0 / 12.0 - 1e-12);
+}
+
+TEST(WhiteBox, TraceCoversCandidateRangeAndContainsOptimum) {
+  const std::vector<double> benign = {1.0, 2.0};
+  const std::vector<double> attack = {5.0, 9.0};
+  const WhiteBoxResult result = calibrate_white_box(benign, attack);
+  ASSERT_FALSE(result.trace.empty());
+  double best = 0.0;
+  for (const ThresholdProbe& probe : result.trace) {
+    best = std::max(best, probe.accuracy);
+  }
+  EXPECT_DOUBLE_EQ(best, result.calibration.train_accuracy);
+  // Trace thresholds are ascending.
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LT(result.trace[i - 1].threshold, result.trace[i].threshold);
+  }
+}
+
+TEST(WhiteBox, ThrowsOnEmptyClass) {
+  const std::vector<double> some = {1.0};
+  const std::vector<double> none;
+  EXPECT_THROW(calibrate_white_box(none, some), std::invalid_argument);
+  EXPECT_THROW(calibrate_white_box(some, none), std::invalid_argument);
+}
+
+TEST(WhiteBox, IdenticalClassesGiveHalfAccuracy) {
+  const std::vector<double> same = {5.0, 5.0, 5.0};
+  const WhiteBoxResult result = calibrate_white_box(same, same);
+  EXPECT_NEAR(result.calibration.train_accuracy, 0.5, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> values = {0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_of(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 50.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 25.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 12.5), 5.0);
+}
+
+TEST(Percentile, HandlesUnsortedInputAndSingleElement) {
+  const std::vector<double> values = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile_of(values, 50.0), 20.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile_of(one, 3.0), 7.0);
+  EXPECT_THROW(percentile_of(std::vector<double>{}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile_of(one, 101.0), std::invalid_argument);
+}
+
+TEST(BlackBox, HighPolarityUsesUpperTail) {
+  // MSE-like: benign scores cluster low; threshold = (100-p)th percentile.
+  std::vector<double> benign;
+  for (int i = 0; i <= 100; ++i) benign.push_back(static_cast<double>(i));
+  const Calibration c = calibrate_black_box(benign, 2.0,
+                                            Polarity::HighIsAttack);
+  EXPECT_NEAR(c.threshold, 98.0, 1e-9);
+  EXPECT_FALSE(is_attack(50.0, c));
+  EXPECT_TRUE(is_attack(99.0, c));
+}
+
+TEST(BlackBox, LowPolarityUsesLowerTail) {
+  std::vector<double> benign;
+  for (int i = 0; i <= 100; ++i) benign.push_back(static_cast<double>(i));
+  const Calibration c = calibrate_black_box(benign, 2.0, Polarity::LowIsAttack);
+  EXPECT_NEAR(c.threshold, 2.0, 1e-9);
+  EXPECT_TRUE(is_attack(1.0, c));
+  EXPECT_FALSE(is_attack(50.0, c));
+}
+
+TEST(BlackBox, FrrOnTrainingDataTracksPercentile) {
+  // By construction ~p% of benign training samples fall beyond the
+  // threshold — the paper's observed FRR ~= percentile effect.
+  data::Rng rng(1);
+  std::vector<double> benign(1000);
+  for (double& v : benign) v = rng.next_gaussian() * 10.0 + 100.0;
+  for (double pct : {1.0, 2.0, 3.0}) {
+    const Calibration c =
+        calibrate_black_box(benign, pct, Polarity::HighIsAttack);
+    int rejected = 0;
+    for (double v : benign) {
+      if (is_attack(v, c)) ++rejected;
+    }
+    EXPECT_NEAR(static_cast<double>(rejected) / benign.size(), pct / 100.0,
+                0.01);
+  }
+}
+
+TEST(BlackBox, ValidatesPercentile) {
+  const std::vector<double> benign = {1.0, 2.0};
+  EXPECT_THROW(calibrate_black_box(benign, 0.0, Polarity::HighIsAttack),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_black_box(benign, 51.0, Polarity::HighIsAttack),
+               std::invalid_argument);
+}
+
+TEST(ScoreStats, ComputesMoments) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const ScoreStats stats = score_stats(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  EXPECT_THROW(score_stats(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(ScoreStats, SingleSampleHasZeroStddev) {
+  const std::vector<double> one = {3.0};
+  const ScoreStats stats = score_stats(one);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+}
+
+}  // namespace
+}  // namespace decam::core

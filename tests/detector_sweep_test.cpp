@@ -1,0 +1,158 @@
+// Parameterised sweeps exercising the detectors across geometries, scaler
+// algorithms and attack strengths — the coverage matrix the single-case
+// unit tests cannot span.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "attack/scale_attack.h"
+#include "core/filtering_detector.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+
+namespace decam::core {
+namespace {
+
+Image make_scene(int side, std::uint64_t seed) {
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = side;
+  params.detail_probability = 0.0;
+  params.flat_probability = 0.0;
+  data::Rng rng(seed);
+  return generate_scene(params, rng);
+}
+
+// ----------------------------------------------------------------------
+// Scaling detector across (victim scaler, scene side) combinations.
+
+using AlgoSide = std::tuple<ScaleAlgo, int>;
+
+class ScalingSweep : public ::testing::TestWithParam<AlgoSide> {};
+
+TEST_P(ScalingSweep, SeparatesAcrossScalersAndGeometries) {
+  const auto [algo, side] = GetParam();
+  const Image scene = make_scene(side, 1000 + side);
+  data::Rng target_rng(2000 + side);
+  const int target_side = side / 4;
+  const Image target =
+      data::generate_target(target_side, target_side, target_rng);
+  attack::AttackOptions options;
+  options.algo = algo;
+  options.eps = 2.0;
+  options.max_sweeps = 200;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+
+  ScalingDetectorConfig config;
+  config.down_width = config.down_height = target_side;
+  config.down_algo = config.up_algo = algo;
+  config.metric = Metric::MSE;
+  const ScalingDetector detector{config};
+  EXPECT_GT(detector.score(result.image), 5.0 * detector.score(scene))
+      << to_string(algo) << " side " << side;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScalingSweep,
+    ::testing::Combine(::testing::Values(ScaleAlgo::Nearest,
+                                         ScaleAlgo::Bilinear,
+                                         ScaleAlgo::Bicubic),
+                       ::testing::Values(96, 144, 200)),
+    [](const ::testing::TestParamInfo<AlgoSide>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_side" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------------------------------
+// Steganalysis across attack strengths (eps) — the CSP harmonics come
+// from the payload structure, not the solver budget, so every strength
+// must be caught.
+
+class CspEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CspEpsSweep, HarmonicsPresentAtEveryAttackStrength) {
+  const double eps = GetParam();
+  const Image scene = make_scene(128, 31);
+  data::Rng target_rng(32);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  options.eps = eps;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+  const SteganalysisDetector detector{};
+  EXPECT_GE(detector.count_csp(result.image), 2) << "eps " << eps;
+  EXPECT_EQ(detector.count_csp(scene), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, CspEpsSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0),
+                         [](const auto& info) {
+                           return "eps" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 10));
+                         });
+
+// ----------------------------------------------------------------------
+// Filtering detector across window sizes: the 2x2 default must not be a
+// knife-edge choice.
+
+class FilterWindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterWindowSweep, MinFilterSeparatesForSmallWindows) {
+  const int window = GetParam();
+  const Image scene = make_scene(128, 41);
+  data::Rng target_rng(42);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+  FilteringDetectorConfig config;
+  config.window = window;
+  config.metric = Metric::SSIM;
+  const FilteringDetector detector{config};
+  EXPECT_LT(detector.score(result.image), detector.score(scene) - 0.05)
+      << "window " << window;
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FilterWindowSweep, ::testing::Values(2, 3, 4),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// ----------------------------------------------------------------------
+// Non-square inputs and targets (DAVE-2-style 200x66 geometry).
+
+TEST(NonSquare, DetectorsHandleRectangularGeometry) {
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = 0;  // overridden below
+  params.detail_probability = 0.0;
+  params.flat_probability = 0.0;
+  // Build a rectangular scene manually (generator draws square-ish sizes).
+  data::Rng rng(51);
+  params.min_side = 260;
+  params.max_side = 420;
+  const Image scene = generate_scene(params, rng);
+  data::Rng target_rng(52);
+  const Image target = data::generate_target(100, 33, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+  EXPECT_LE(result.report.downscale_linf, options.eps + 2.5);
+
+  ScalingDetectorConfig config;
+  config.down_width = 100;
+  config.down_height = 33;
+  config.metric = Metric::MSE;
+  const ScalingDetector detector{config};
+  EXPECT_GT(detector.score(result.image), 5.0 * detector.score(scene));
+  const SteganalysisDetector steg{};
+  EXPECT_GE(steg.count_csp(result.image), 2);
+}
+
+}  // namespace
+}  // namespace decam::core

@@ -1,0 +1,95 @@
+// Tests for the majority-vote ensemble using stub detectors with
+// controllable scores.
+#include "core/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace decam::core {
+namespace {
+
+// Stub detector returning a fixed score regardless of input.
+class FixedDetector final : public Detector {
+ public:
+  explicit FixedDetector(double score) : score_(score) {}
+  double score(const Image&) const override { return score_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double score_;
+};
+
+EnsembleDetector::Member member(double score, double threshold,
+                                Polarity polarity = Polarity::HighIsAttack) {
+  return {std::make_shared<FixedDetector>(score),
+          Calibration{threshold, polarity, 0.0}};
+}
+
+const Image kDummy(4, 4, 1, 0.0f);
+
+TEST(Ensemble, UnanimousAttackVoteFlags) {
+  const EnsembleDetector ensemble({member(10, 5), member(10, 5),
+                                   member(10, 5)});
+  EXPECT_TRUE(ensemble.is_attack(kDummy));
+}
+
+TEST(Ensemble, MajorityWinsTwoToOne) {
+  const EnsembleDetector ensemble({member(10, 5), member(10, 5),
+                                   member(1, 5)});
+  EXPECT_TRUE(ensemble.is_attack(kDummy));
+  const EnsembleDetector benign_majority({member(1, 5), member(1, 5),
+                                          member(10, 5)});
+  EXPECT_FALSE(benign_majority.is_attack(kDummy));
+}
+
+TEST(Ensemble, TieCountsAsBenign) {
+  // Even membership with a 1-1 split: not a strict majority.
+  const EnsembleDetector ensemble({member(10, 5), member(1, 5)});
+  EXPECT_FALSE(ensemble.is_attack(kDummy));
+}
+
+TEST(Ensemble, MixedPolaritiesVoteCorrectly) {
+  // An SSIM-like member (low = attack) agreeing with an MSE-like member.
+  const EnsembleDetector ensemble(
+      {member(10, 5, Polarity::HighIsAttack),
+       member(0.2, 0.5, Polarity::LowIsAttack),
+       member(1, 5, Polarity::HighIsAttack)});
+  EXPECT_TRUE(ensemble.is_attack(kDummy));
+}
+
+TEST(Ensemble, VotesExposeIndividualDecisions) {
+  const EnsembleDetector ensemble({member(10, 5), member(1, 5),
+                                   member(7, 7)});
+  const std::vector<bool> votes = ensemble.votes(kDummy);
+  ASSERT_EQ(votes.size(), 3u);
+  EXPECT_TRUE(votes[0]);
+  EXPECT_FALSE(votes[1]);
+  EXPECT_TRUE(votes[2]);  // score == threshold counts as attack
+}
+
+TEST(Ensemble, VoteScoresBypassesDetectors) {
+  const EnsembleDetector ensemble({member(0, 5), member(0, 5),
+                                   member(0, 5)});
+  const std::vector<double> attack_scores = {9.0, 9.0, 1.0};
+  const std::vector<double> benign_scores = {1.0, 1.0, 9.0};
+  EXPECT_TRUE(ensemble.vote_scores(attack_scores));
+  EXPECT_FALSE(ensemble.vote_scores(benign_scores));
+  EXPECT_THROW(ensemble.vote_scores(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, SingleMemberActsAsThatDetector) {
+  const EnsembleDetector ensemble({member(10, 5)});
+  EXPECT_TRUE(ensemble.is_attack(kDummy));
+}
+
+TEST(Ensemble, ValidatesConstruction) {
+  EXPECT_THROW(EnsembleDetector({}), std::invalid_argument);
+  std::vector<EnsembleDetector::Member> with_null;
+  with_null.push_back({nullptr, Calibration{}});
+  EXPECT_THROW(EnsembleDetector(std::move(with_null)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decam::core

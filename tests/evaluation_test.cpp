@@ -1,0 +1,92 @@
+// Tests for the confusion-matrix measures (Acc/Prec/Rec/FAR/FRR).
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace decam::core {
+namespace {
+
+TEST(Evaluate, PerfectDetector) {
+  const std::vector<double> benign = {1.0, 2.0, 3.0};
+  const std::vector<double> attack = {10.0, 11.0};
+  const Calibration c{5.0, Polarity::HighIsAttack, 0.0};
+  const DetectionStats stats = evaluate(benign, attack, c);
+  EXPECT_EQ(stats.true_positives, 2);
+  EXPECT_EQ(stats.true_negatives, 3);
+  EXPECT_EQ(stats.false_positives, 0);
+  EXPECT_EQ(stats.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.far(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.frr(), 0.0);
+}
+
+TEST(Evaluate, MixedOutcomeMatchesHandCount) {
+  // threshold 5, HighIsAttack:
+  //   benign {1, 6}  -> 1 TN, 1 FP
+  //   attack {4, 9}  -> 1 FN, 1 TP
+  const std::vector<double> benign = {1.0, 6.0};
+  const std::vector<double> attack = {4.0, 9.0};
+  const Calibration c{5.0, Polarity::HighIsAttack, 0.0};
+  const DetectionStats stats = evaluate(benign, attack, c);
+  EXPECT_EQ(stats.true_positives, 1);
+  EXPECT_EQ(stats.false_positives, 1);
+  EXPECT_EQ(stats.true_negatives, 1);
+  EXPECT_EQ(stats.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.far(), 0.5);   // 1 of 2 attacks accepted
+  EXPECT_DOUBLE_EQ(stats.frr(), 0.5);   // 1 of 2 benign rejected
+}
+
+TEST(Evaluate, LowIsAttackPolarity) {
+  const std::vector<double> benign = {0.9, 0.95};
+  const std::vector<double> attack = {0.2, 0.8};
+  const Calibration c{0.5, Polarity::LowIsAttack, 0.0};
+  const DetectionStats stats = evaluate(benign, attack, c);
+  EXPECT_EQ(stats.true_positives, 1);   // 0.2
+  EXPECT_EQ(stats.false_negatives, 1);  // 0.8 slips through
+  EXPECT_EQ(stats.true_negatives, 2);
+  EXPECT_DOUBLE_EQ(stats.far(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.frr(), 0.0);
+}
+
+TEST(Evaluate, EmptyClassesYieldZeroRates) {
+  const DetectionStats stats = evaluate({}, {}, Calibration{});
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.far(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.frr(), 0.0);
+}
+
+TEST(EvaluateFlags, TalliesBooleanDecisions) {
+  const std::vector<bool> benign = {false, false, true};   // 1 FP
+  const std::vector<bool> attack = {true, true, false};    // 1 FN
+  const DetectionStats stats = evaluate_flags(benign, attack);
+  EXPECT_EQ(stats.true_positives, 2);
+  EXPECT_EQ(stats.false_positives, 1);
+  EXPECT_EQ(stats.true_negatives, 2);
+  EXPECT_EQ(stats.false_negatives, 1);
+  EXPECT_NEAR(stats.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(stats.far(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.frr(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DetectionStats, FarAndFrrAreComplementaryToRecallAndSpecificity) {
+  DetectionStats stats;
+  stats.true_positives = 90;
+  stats.false_negatives = 10;
+  stats.true_negatives = 95;
+  stats.false_positives = 5;
+  EXPECT_DOUBLE_EQ(stats.recall() + stats.far(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.frr(), 0.05);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 185.0 / 200.0);
+}
+
+}  // namespace
+}  // namespace decam::core

@@ -1,0 +1,164 @@
+// Tests for rank filters and blurs, including the attack-revealing property
+// of the minimum filter the filtering detector builds on.
+#include "imaging/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "data/rng.h"
+
+namespace decam {
+namespace {
+
+Image make_gradient(int w, int h) {
+  Image img(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.at(x, y, 0) = static_cast<float>(x + y * w);
+    }
+  }
+  return img;
+}
+
+TEST(RankFilter, MinPicksWindowMinimum) {
+  const Image img = make_gradient(4, 4);
+  const Image out = min_filter(img, 2);
+  // Window anchored top-left: out(x,y) = min over {x,x+1}x{y,y+1}.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 0), 10.0f);
+  // Bottom-right uses edge replication.
+  EXPECT_FLOAT_EQ(out.at(3, 3, 0), 15.0f);
+}
+
+TEST(RankFilter, MaxPicksWindowMaximum) {
+  const Image img = make_gradient(4, 4);
+  const Image out = max_filter(img, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 0), 15.0f);
+}
+
+TEST(RankFilter, MedianRemovesImpulseNoise) {
+  Image img(5, 5, 1, 100.0f);
+  img.at(2, 2, 0) = 255.0f;  // single hot pixel
+  const Image out = median_filter(img, 3);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      EXPECT_FLOAT_EQ(out.at(x, y, 0), 100.0f);
+    }
+  }
+}
+
+TEST(RankFilter, WindowOfOneIsIdentity) {
+  data::Rng rng(3);
+  Image img(6, 5, 2);
+  for (int c = 0; c < 2; ++c) {
+    for (float& v : img.plane(c)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+  }
+  for (const RankOp op : {RankOp::Min, RankOp::Median, RankOp::Max}) {
+    const Image out = rank_filter(img, 1, op);
+    for (int c = 0; c < 2; ++c) {
+      for (int y = 0; y < 5; ++y) {
+        for (int x = 0; x < 6; ++x) {
+          EXPECT_FLOAT_EQ(out.at(x, y, c), img.at(x, y, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(RankFilter, OrderingInvariantMinLeMedianLeMax) {
+  data::Rng rng(4);
+  Image img(16, 12, 1);
+  for (float& v : img.plane(0)) {
+    v = static_cast<float>(rng.next_range(0.0, 255.0));
+  }
+  const Image mn = min_filter(img, 3);
+  const Image md = median_filter(img, 3);
+  const Image mx = max_filter(img, 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_LE(mn.at(x, y, 0), md.at(x, y, 0));
+      EXPECT_LE(md.at(x, y, 0), mx.at(x, y, 0));
+      EXPECT_LE(mn.at(x, y, 0), img.at(x, y, 0));
+      EXPECT_GE(mx.at(x, y, 0), img.at(x, y, 0));
+    }
+  }
+}
+
+TEST(RankFilter, ChannelsFilteredIndependently) {
+  Image img(3, 3, 2, 10.0f);
+  img.at(1, 1, 1) = 0.0f;  // dark pixel only in channel 1
+  const Image out = min_filter(img, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 0.0f);
+}
+
+TEST(RankFilter, RevealsEmbeddedDarkPixelsLikeTheAttack) {
+  // Sparse dark pixels on a bright field (the signature of an attack image
+  // hiding a dark target) spread to whole blocks under a 2x2 min filter —
+  // exactly why the filtering detector works.
+  Image img(8, 8, 1, 200.0f);
+  for (int y = 0; y < 8; y += 2) {
+    for (int x = 0; x < 8; x += 2) img.at(x, y, 0) = 5.0f;
+  }
+  const Image out = min_filter(img, 2);
+  int dark = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      if (out.at(x, y, 0) < 10.0f) ++dark;
+    }
+  }
+  // 16 dark pixels became (almost) the whole image.
+  EXPECT_GE(dark, 36);
+}
+
+TEST(RankFilter, RejectsBadWindow) {
+  const Image img(4, 4, 1);
+  EXPECT_THROW(rank_filter(img, 0, RankOp::Min), std::invalid_argument);
+  EXPECT_THROW(rank_filter(Image(), 2, RankOp::Min), std::invalid_argument);
+}
+
+TEST(BoxBlur, AveragesNeighbourhood) {
+  Image img(3, 3, 1, 0.0f);
+  img.at(1, 1, 0) = 90.0f;
+  const Image out = box_blur(img, 3);
+  EXPECT_NEAR(out.at(1, 1, 0), 10.0f, 1e-4f);
+  EXPECT_NEAR(out.at(0, 0, 0), 10.0f, 1e-4f);  // replicated borders included
+}
+
+TEST(BoxBlur, RequiresOddWindow) {
+  const Image img(4, 4, 1);
+  EXPECT_THROW(box_blur(img, 2), std::invalid_argument);
+  EXPECT_THROW(box_blur(img, 0), std::invalid_argument);
+}
+
+TEST(GaussianBlur, PreservesConstantAndMass) {
+  const Image img(9, 9, 1, 77.0f);
+  const Image out = gaussian_blur(img, 1.2);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      EXPECT_NEAR(out.at(x, y, 0), 77.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(GaussianBlur, SmoothsAnImpulseSymmetrically) {
+  Image img(11, 11, 1, 0.0f);
+  img.at(5, 5, 0) = 100.0f;
+  const Image out = gaussian_blur(img, 1.0);
+  EXPECT_GT(out.at(5, 5, 0), out.at(4, 5, 0));
+  EXPECT_NEAR(out.at(4, 5, 0), out.at(6, 5, 0), 1e-4f);
+  EXPECT_NEAR(out.at(5, 4, 0), out.at(5, 6, 0), 1e-4f);
+  EXPECT_NEAR(out.at(4, 5, 0), out.at(5, 4, 0), 1e-4f);
+}
+
+TEST(GaussianBlur, RejectsNonPositiveSigma) {
+  const Image img(4, 4, 1);
+  EXPECT_THROW(gaussian_blur(img, 0.0), std::invalid_argument);
+  EXPECT_THROW(gaussian_blur(img, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decam

@@ -1,0 +1,173 @@
+// End-to-end integration: the full paper protocol at miniature scale —
+// calibrate on regime A (white-box search + black-box percentile), evaluate
+// on unseen regime B, ensemble vote — asserting the SHAPE of the paper's
+// results (high accuracy, FRR tracking percentile, CSP fixed threshold,
+// PSNR non-separability).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ensemble.h"
+#include "core/evaluation.h"
+#include "core/filtering_detector.h"
+#include "core/pipeline.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+
+namespace decam::core {
+namespace {
+
+// Shared miniature experiment (computed once for the whole suite).
+const ExperimentData& experiment() {
+  static const ExperimentData data = [] {
+    ExperimentConfig config;
+    config.n_train = 12;
+    config.n_eval = 12;
+    config.target_width = config.target_height = 32;
+    config.min_side = 128;
+    config.max_side = 192;
+    config.seed = 2026;
+    return run_experiment(config, {}, /*verbose=*/false);
+  }();
+  return data;
+}
+
+TEST(Integration, WhiteBoxScalingMseIsHighlyAccurateOnUnseenData) {
+  const auto& data = experiment();
+  const auto train_benign =
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse);
+  const auto train_attack =
+      ExperimentData::column(data.train_attack, &ScoreRow::scaling_mse);
+  const WhiteBoxResult wb = calibrate_white_box(train_benign, train_attack);
+  EXPECT_GE(wb.calibration.train_accuracy, 0.95);
+  const DetectionStats stats = evaluate(
+      ExperimentData::column(data.eval_benign, &ScoreRow::scaling_mse),
+      ExperimentData::column(data.eval_attack_white, &ScoreRow::scaling_mse),
+      wb.calibration);
+  EXPECT_GE(stats.accuracy(), 0.9);
+}
+
+TEST(Integration, WhiteBoxScalingSsimPolarityIsLow) {
+  const auto& data = experiment();
+  const WhiteBoxResult wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_ssim),
+      ExperimentData::column(data.train_attack, &ScoreRow::scaling_ssim));
+  EXPECT_EQ(wb.calibration.polarity, Polarity::LowIsAttack);
+  EXPECT_GE(wb.calibration.train_accuracy, 0.95);
+}
+
+TEST(Integration, WhiteBoxFilteringSeparates) {
+  const auto& data = experiment();
+  for (auto member : {&ScoreRow::filtering_mse, &ScoreRow::filtering_ssim}) {
+    const WhiteBoxResult wb = calibrate_white_box(
+        ExperimentData::column(data.train_benign, member),
+        ExperimentData::column(data.train_attack, member));
+    const DetectionStats stats = evaluate(
+        ExperimentData::column(data.eval_benign, member),
+        ExperimentData::column(data.eval_attack_white, member),
+        wb.calibration);
+    EXPECT_GE(stats.accuracy(), 0.85);
+  }
+}
+
+TEST(Integration, BlackBoxPercentileTransfersAcrossDatasets) {
+  const auto& data = experiment();
+  // Calibrate from regime-A benign scores only; evaluate on regime B with
+  // attacks crafted by UNKNOWN scalers.
+  const Calibration c = calibrate_black_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse),
+      /*percentile=*/2.0, Polarity::HighIsAttack);
+  const DetectionStats stats = evaluate(
+      ExperimentData::column(data.eval_benign, &ScoreRow::scaling_mse),
+      ExperimentData::column(data.eval_attack_black, &ScoreRow::scaling_mse),
+      c);
+  EXPECT_GE(stats.accuracy(), 0.85);
+  EXPECT_GE(stats.recall(), 0.85);
+}
+
+TEST(Integration, SteganalysisFixedThresholdTwoWorksOnBothRegimes) {
+  const auto& data = experiment();
+  const Calibration csp{2.0, Polarity::HighIsAttack, 0.0};
+  const DetectionStats train_stats = evaluate(
+      ExperimentData::column(data.train_benign, &ScoreRow::csp),
+      ExperimentData::column(data.train_attack, &ScoreRow::csp), csp);
+  const DetectionStats eval_stats = evaluate(
+      ExperimentData::column(data.eval_benign, &ScoreRow::csp),
+      ExperimentData::column(data.eval_attack_white, &ScoreRow::csp), csp);
+  EXPECT_GE(train_stats.accuracy(), 0.85);
+  EXPECT_GE(eval_stats.accuracy(), 0.85);
+}
+
+TEST(Integration, PsnrDoesNotSeparate) {
+  // The appendix's negative result: PSNR training accuracy is clearly worse
+  // than MSE's on the same data.
+  const auto& data = experiment();
+  const WhiteBoxResult psnr_wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::filtering_psnr),
+      ExperimentData::column(data.train_attack, &ScoreRow::filtering_psnr));
+  const WhiteBoxResult mse_wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::filtering_mse),
+      ExperimentData::column(data.train_attack, &ScoreRow::filtering_mse));
+  EXPECT_GE(mse_wb.calibration.train_accuracy,
+            psnr_wb.calibration.train_accuracy);
+}
+
+TEST(Integration, EnsembleMatchesOrBeatsWorstMember) {
+  const auto& data = experiment();
+  // Build calibrations for the three method/metric picks the paper's
+  // ensemble uses: scaling/MSE, filtering/SSIM, steganalysis/CSP.
+  const Calibration scaling = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse),
+      ExperimentData::column(data.train_attack, &ScoreRow::scaling_mse))
+      .calibration;
+  const Calibration filtering = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::filtering_ssim),
+      ExperimentData::column(data.train_attack, &ScoreRow::filtering_ssim))
+      .calibration;
+  const Calibration steg{2.0, Polarity::HighIsAttack, 0.0};
+
+  auto vote = [&](const ScoreRow& row) {
+    int votes = 0;
+    if (is_attack(row.scaling_mse, scaling)) ++votes;
+    if (is_attack(row.filtering_ssim, filtering)) ++votes;
+    if (is_attack(row.csp, steg)) ++votes;
+    return votes >= 2;
+  };
+  std::vector<bool> benign_flags, attack_flags;
+  for (const ScoreRow& row : data.eval_benign) {
+    benign_flags.push_back(vote(row));
+  }
+  for (const ScoreRow& row : data.eval_attack_white) {
+    attack_flags.push_back(vote(row));
+  }
+  const DetectionStats ensemble_stats =
+      evaluate_flags(benign_flags, attack_flags);
+
+  // Individual members for comparison.
+  const DetectionStats scaling_stats = evaluate(
+      ExperimentData::column(data.eval_benign, &ScoreRow::scaling_mse),
+      ExperimentData::column(data.eval_attack_white, &ScoreRow::scaling_mse),
+      scaling);
+  const DetectionStats steg_stats = evaluate(
+      ExperimentData::column(data.eval_benign, &ScoreRow::csp),
+      ExperimentData::column(data.eval_attack_white, &ScoreRow::csp), steg);
+  const double worst_member =
+      std::min(scaling_stats.accuracy(), steg_stats.accuracy());
+  EXPECT_GE(ensemble_stats.accuracy(), worst_member);
+  EXPECT_GE(ensemble_stats.accuracy(), 0.9);
+}
+
+TEST(Integration, HistogramBaselineIsClearlyWeakerThanDecamouflage) {
+  const auto& data = experiment();
+  const WhiteBoxResult hist_wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::histogram),
+      ExperimentData::column(data.train_attack, &ScoreRow::histogram));
+  const WhiteBoxResult mse_wb = calibrate_white_box(
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse),
+      ExperimentData::column(data.train_attack, &ScoreRow::scaling_mse));
+  EXPECT_GE(mse_wb.calibration.train_accuracy,
+            hist_wb.calibration.train_accuracy);
+}
+
+}  // namespace
+}  // namespace decam::core

@@ -1,0 +1,194 @@
+// Tests for the 1-D resampling kernel tables: partition-of-unity,
+// OpenCV-compatible coordinate mapping, kernel profiles and the
+// no-anti-aliasing property the image-scaling attack exploits.
+#include "imaging/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace decam {
+namespace {
+
+using AlgoSizes = std::tuple<ScaleAlgo, int, int>;
+
+class KernelTableProperty : public ::testing::TestWithParam<AlgoSizes> {};
+
+TEST_P(KernelTableProperty, WeightsOfEachOutputSumToOne) {
+  const auto [algo, in_size, out_size] = GetParam();
+  const KernelTable table = make_kernel_table(in_size, out_size, algo);
+  ASSERT_EQ(table.taps.size(), static_cast<std::size_t>(out_size));
+  for (const auto& taps : table.taps) {
+    double sum = 0.0;
+    for (const Tap& tap : taps) sum += tap.weight;
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_P(KernelTableProperty, TapIndicesAreValidAndUnique) {
+  const auto [algo, in_size, out_size] = GetParam();
+  const KernelTable table = make_kernel_table(in_size, out_size, algo);
+  for (const auto& taps : table.taps) {
+    ASSERT_FALSE(taps.empty());
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      EXPECT_GE(taps[i].index, 0);
+      EXPECT_LT(taps[i].index, in_size);
+      if (i > 0) {
+        EXPECT_LT(taps[i - 1].index, taps[i].index);
+      }
+    }
+  }
+}
+
+TEST_P(KernelTableProperty, ConstantSignalIsPreserved) {
+  const auto [algo, in_size, out_size] = GetParam();
+  const KernelTable table = make_kernel_table(in_size, out_size, algo);
+  const std::vector<float> in(static_cast<std::size_t>(in_size), 42.0f);
+  std::vector<float> out(static_cast<std::size_t>(out_size), 0.0f);
+  apply_kernel(table, in.data(), 1, out.data(), 1);
+  for (float v : out) EXPECT_NEAR(v, 42.0f, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAndGeometries, KernelTableProperty,
+    ::testing::Combine(
+        ::testing::Values(ScaleAlgo::Nearest, ScaleAlgo::Bilinear,
+                          ScaleAlgo::Bicubic, ScaleAlgo::Area,
+                          ScaleAlgo::Lanczos4),
+        ::testing::Values(7, 32, 97, 224),
+        ::testing::Values(3, 16, 49, 100)),
+    [](const ::testing::TestParamInfo<AlgoSizes>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_in" +
+             std::to_string(std::get<1>(info.param)) + "_out" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(KernelTable, NearestMatchesOpenCvIndexing) {
+  // cv::resize INTER_NEAREST picks src = floor(dst * in/out).
+  const KernelTable table = make_kernel_table(8, 4, ScaleAlgo::Nearest);
+  EXPECT_EQ(table.taps[0][0].index, 0);
+  EXPECT_EQ(table.taps[1][0].index, 2);
+  EXPECT_EQ(table.taps[2][0].index, 4);
+  EXPECT_EQ(table.taps[3][0].index, 6);
+}
+
+TEST(KernelTable, NearestHasExactlyOneUnitTapPerOutput) {
+  const KernelTable table = make_kernel_table(100, 37, ScaleAlgo::Nearest);
+  for (const auto& taps : table.taps) {
+    ASSERT_EQ(taps.size(), 1u);
+    EXPECT_FLOAT_EQ(taps[0].weight, 1.0f);
+  }
+}
+
+TEST(KernelTable, BilinearHalfScaleTouchesTwoNeighbours) {
+  // in=8 -> out=4 with half-pixel mapping: centre = 2*o + 0.5, so each
+  // output blends source samples 2o and 2o+1 with weight 1/2 each.
+  const KernelTable table = make_kernel_table(8, 4, ScaleAlgo::Bilinear);
+  for (int o = 0; o < 4; ++o) {
+    const auto& taps = table.taps[static_cast<std::size_t>(o)];
+    ASSERT_EQ(taps.size(), 2u);
+    EXPECT_EQ(taps[0].index, 2 * o);
+    EXPECT_EQ(taps[1].index, 2 * o + 1);
+    EXPECT_NEAR(taps[0].weight, 0.5f, 1e-6f);
+    EXPECT_NEAR(taps[1].weight, 0.5f, 1e-6f);
+  }
+}
+
+TEST(KernelTable, BilinearIdentityIsExact) {
+  const KernelTable table = make_kernel_table(16, 16, ScaleAlgo::Bilinear);
+  for (int o = 0; o < 16; ++o) {
+    const auto& taps = table.taps[static_cast<std::size_t>(o)];
+    ASSERT_EQ(taps.size(), 1u);
+    EXPECT_EQ(taps[0].index, o);
+    EXPECT_NEAR(taps[0].weight, 1.0f, 1e-6f);
+  }
+}
+
+TEST(KernelTable, NoAntiAliasingOnDownscale) {
+  // The attack-enabling property: at ratio 4 the bilinear kernel still only
+  // touches <= 2 source samples per output, leaving the other samples free
+  // for the attacker (cv::resize INTER_LINEAR behaves the same way).
+  const KernelTable table = make_kernel_table(64, 16, ScaleAlgo::Bilinear);
+  for (const auto& taps : table.taps) {
+    EXPECT_LE(taps.size(), 2u);
+  }
+  // INTER_AREA by contrast averages the whole 4-sample footprint.
+  const KernelTable area = make_kernel_table(64, 16, ScaleAlgo::Area);
+  for (const auto& taps : area.taps) {
+    EXPECT_EQ(taps.size(), 4u);
+  }
+}
+
+TEST(KernelTable, AreaDownscaleMatchesBoxAverage) {
+  const KernelTable table = make_kernel_table(6, 2, ScaleAlgo::Area);
+  const std::vector<float> in = {1, 2, 3, 10, 20, 30};
+  std::vector<float> out(2);
+  apply_kernel(table, in.data(), 1, out.data(), 1);
+  EXPECT_NEAR(out[0], 2.0f, 1e-5f);
+  EXPECT_NEAR(out[1], 20.0f, 1e-5f);
+}
+
+TEST(KernelTable, AreaNonIntegerRatioCoversFractionalFootprint) {
+  // 5 -> 2: each output covers 2.5 samples; middle sample is split.
+  const KernelTable table = make_kernel_table(5, 2, ScaleAlgo::Area);
+  const std::vector<float> in = {10, 10, 10, 50, 50};
+  std::vector<float> out(2);
+  apply_kernel(table, in.data(), 1, out.data(), 1);
+  EXPECT_NEAR(out[0], 10.0f, 1e-5f);                 // 10,10,half of 10
+  EXPECT_NEAR(out[1], (0.5f * 10 + 50 + 50) / 2.5f, 1e-5f);
+}
+
+TEST(KernelProfiles, CubicMatchesKeysAtKnots) {
+  EXPECT_NEAR(cubic_weight(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(cubic_weight(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(cubic_weight(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(cubic_weight(-1.0), 0.0, 1e-12);
+  // a = -0.75: w(0.5) = ((a+2)/2 - (a+3)) / 4 + 1 = 0.59375.
+  EXPECT_NEAR(cubic_weight(0.5), 0.59375, 1e-9);
+  EXPECT_LT(cubic_weight(1.5), 0.0);  // negative lobe exists
+}
+
+TEST(KernelProfiles, LanczosMatchesDefinition) {
+  EXPECT_NEAR(lanczos4_weight(0.0), 1.0, 1e-12);
+  for (int k = 1; k < 4; ++k) {
+    EXPECT_NEAR(lanczos4_weight(static_cast<double>(k)), 0.0, 1e-12);
+  }
+  EXPECT_NEAR(lanczos4_weight(4.0), 0.0, 1e-12);
+  EXPECT_NEAR(lanczos4_weight(5.0), 0.0, 1e-12);
+  EXPECT_GT(lanczos4_weight(0.4), 0.0);
+  EXPECT_LT(lanczos4_weight(1.5), 0.0);  // first negative lobe
+}
+
+TEST(KernelTable, RejectsNonPositiveSizes) {
+  EXPECT_THROW(make_kernel_table(0, 4, ScaleAlgo::Bilinear),
+               std::invalid_argument);
+  EXPECT_THROW(make_kernel_table(4, 0, ScaleAlgo::Bilinear),
+               std::invalid_argument);
+  EXPECT_THROW(make_kernel_table(-3, 4, ScaleAlgo::Nearest),
+               std::invalid_argument);
+}
+
+TEST(KernelTable, ApplyKernelHonoursStrides) {
+  const KernelTable table = make_kernel_table(4, 2, ScaleAlgo::Nearest);
+  // Input laid out with stride 2 (e.g. a column of a 2-wide image).
+  const std::vector<float> in = {1, -1, 2, -1, 3, -1, 4, -1};
+  std::vector<float> out = {0, 0, 0, 0};
+  apply_kernel(table, in.data(), 2, out.data(), 2);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);  // untouched gaps
+}
+
+TEST(KernelTable, ToStringCoversAllAlgorithms) {
+  EXPECT_STREQ(to_string(ScaleAlgo::Nearest), "nearest");
+  EXPECT_STREQ(to_string(ScaleAlgo::Bilinear), "bilinear");
+  EXPECT_STREQ(to_string(ScaleAlgo::Bicubic), "bicubic");
+  EXPECT_STREQ(to_string(ScaleAlgo::Area), "area");
+  EXPECT_STREQ(to_string(ScaleAlgo::Lanczos4), "lanczos4");
+}
+
+}  // namespace
+}  // namespace decam

@@ -1,0 +1,131 @@
+// Tests for SmallCnn persistence (save/load) and the confusion matrix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "data/rng.h"
+#include "imaging/draw.h"
+#include "ml/classifier.h"
+
+namespace decam::ml {
+namespace {
+
+class MlPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("decam_ml_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path path(const std::string& name) const {
+    return dir_ / name;
+  }
+  std::filesystem::path dir_;
+};
+
+std::vector<TrainingSample> tiny_dataset(int per_class, std::uint64_t seed) {
+  data::Rng rng(seed);
+  std::vector<TrainingSample> samples;
+  for (int i = 0; i < per_class * 2; ++i) {
+    const int label = i % 2;
+    Image img(32, 32, 3);
+    const std::array<float, 3> color = {
+        label == 0 ? 220.0f : 30.0f,
+        static_cast<float>(rng.next_range(30.0, 70.0)),
+        label == 1 ? 220.0f : 30.0f};
+    fill_rect(img, 0, 0, 32, 32, color);
+    for (int c = 0; c < 3; ++c) {
+      for (float& v : img.plane(c)) {
+        v += static_cast<float>(rng.next_gaussian() * 5.0);
+      }
+    }
+    img.clamp();
+    samples.push_back({std::move(img), label});
+  }
+  return samples;
+}
+
+TEST_F(MlPersistenceTest, SaveLoadReproducesPredictionsExactly) {
+  const auto train = tiny_dataset(10, 1);
+  SmallCnn original(2, 32, ScaleAlgo::Bilinear, 3);
+  TrainConfig config;
+  config.epochs = 2;
+  original.train(train, config);
+  original.save(path("model.txt"));
+
+  // A DIFFERENTLY seeded model must diverge before load and match after.
+  SmallCnn restored(2, 32, ScaleAlgo::Bilinear, 99);
+  const auto before = restored.predict(train[0].image);
+  const auto target = original.predict(train[0].image);
+  bool differs = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (std::abs(before[i] - target[i]) > 1e-6f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  restored.load(path("model.txt"));
+  const auto after = restored.predict(train[0].image);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_NEAR(after[i], target[i], 1e-6f);
+  }
+}
+
+TEST_F(MlPersistenceTest, LoadRejectsArchitectureMismatch) {
+  SmallCnn model(2, 32, ScaleAlgo::Bilinear, 1);
+  model.save(path("m.txt"));
+  SmallCnn bigger(3, 32, ScaleAlgo::Bilinear, 1);
+  EXPECT_THROW(bigger.load(path("m.txt")), IoError);
+  SmallCnn wider(2, 48, ScaleAlgo::Bilinear, 1);
+  EXPECT_THROW(wider.load(path("m.txt")), IoError);
+}
+
+TEST_F(MlPersistenceTest, LoadRejectsGarbageAndMissingFiles) {
+  SmallCnn model(2, 32, ScaleAlgo::Bilinear, 1);
+  EXPECT_THROW(model.load(path("missing.txt")), IoError);
+  std::ofstream out(path("junk.txt"));
+  out << "hello world\n";
+  out.close();
+  EXPECT_THROW(model.load(path("junk.txt")), IoError);
+}
+
+TEST_F(MlPersistenceTest, TruncatedModelFileRejected) {
+  SmallCnn model(2, 32, ScaleAlgo::Bilinear, 1);
+  model.save(path("full.txt"));
+  // Truncate roughly in half.
+  std::ifstream in(path("full.txt"));
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path("half.txt"));
+  out << contents.substr(0, contents.size() / 2);
+  out.close();
+  SmallCnn other(2, 32, ScaleAlgo::Bilinear, 2);
+  EXPECT_THROW(other.load(path("half.txt")), IoError);
+}
+
+TEST_F(MlPersistenceTest, ConfusionMatrixRowsSumToClassCounts) {
+  const auto train = tiny_dataset(12, 5);
+  SmallCnn model(2, 32, ScaleAlgo::Bilinear, 7);
+  TrainConfig config;
+  config.epochs = 3;
+  config.learning_rate = 0.05f;
+  model.train(train, config);
+  const auto matrix = model.confusion(train);
+  ASSERT_EQ(matrix.size(), 2u);
+  for (int label = 0; label < 2; ++label) {
+    int row_total = 0;
+    for (int predicted = 0; predicted < 2; ++predicted) {
+      row_total += matrix[static_cast<std::size_t>(label)]
+                         [static_cast<std::size_t>(predicted)];
+    }
+    EXPECT_EQ(row_total, 12);
+  }
+  // After training the separable task, the diagonal dominates.
+  EXPECT_GE(matrix[0][0] + matrix[1][1], 20);
+  EXPECT_THROW(model.confusion({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decam::ml

@@ -1,0 +1,118 @@
+// Tests for the multi-geometry offline scanner: detection of attacks at
+// unknown target geometries, geometry attribution, and benign pass-through.
+#include "core/multiscale.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/scale_attack.h"
+#include "data/rng.h"
+#include "data/synth.h"
+
+namespace decam::core {
+namespace {
+
+Image make_scene(int side, std::uint64_t seed) {
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = side;
+  params.detail_probability = 0.0;
+  params.flat_probability = 0.0;
+  data::Rng rng(seed);
+  return generate_scene(params, rng);
+}
+
+MultiScaleConfig test_config() {
+  MultiScaleConfig config;
+  config.candidate_sides = {24, 32, 48, 64};
+  config.scaling_calibration = {400.0, Polarity::HighIsAttack, 0.0};
+  return config;
+}
+
+class MultiScaleAcrossGeometries : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiScaleAcrossGeometries, FlagsAttackAtUnknownGeometry) {
+  const int target_side = GetParam();
+  const Image scene = make_scene(192, 100 + target_side);
+  data::Rng target_rng(7);
+  const Image target =
+      data::generate_target(target_side, target_side, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+  const MultiScaleScanner scanner{test_config()};
+  const MultiScaleReport report = scanner.scan(result.image);
+  EXPECT_TRUE(report.flagged) << "target side " << target_side;
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetGeometries, MultiScaleAcrossGeometries,
+                         ::testing::Values(24, 32, 48, 64),
+                         [](const auto& info) {
+                           return "side" + std::to_string(info.param);
+                         });
+
+TEST(MultiScale, BenignImagesPass) {
+  const MultiScaleScanner scanner{test_config()};
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const MultiScaleReport report = scanner.scan(make_scene(160, seed));
+    EXPECT_FALSE(report.flagged) << "seed " << seed;
+    EXPECT_EQ(report.triggered_side, 0);
+    EXPECT_EQ(report.csp_count, 1);
+  }
+}
+
+TEST(MultiScale, AttributesTheAttackedGeometry) {
+  // The probe AT the attack's geometry should be among the firing ones;
+  // probes far from it read mostly original pixels.
+  const Image scene = make_scene(192, 11);
+  data::Rng target_rng(12);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  const attack::AttackResult result =
+      attack::craft_attack(scene, target, options);
+  const MultiScaleScanner scanner{test_config()};
+  const MultiScaleReport report = scanner.scan(result.image);
+  ASSERT_TRUE(report.flagged);
+  // triggered_side records the FIRST firing probe in candidate order; the
+  // 32-geometry probe must fire, so the attribution is <= 32.
+  EXPECT_GT(report.triggered_side, 0);
+  EXPECT_LE(report.triggered_side, 32);
+}
+
+TEST(MultiScale, SkipsGeometriesLargerThanInput) {
+  MultiScaleConfig config = test_config();
+  config.candidate_sides = {24, 500};  // 500 > input: must be skipped
+  const MultiScaleScanner scanner{config};
+  const MultiScaleReport report = scanner.scan(make_scene(160, 13));
+  EXPECT_FALSE(report.flagged);
+}
+
+TEST(MultiScale, WorstScoreTracksMostAttackLikeProbe) {
+  const Image scene = make_scene(160, 14);
+  const MultiScaleScanner scanner{test_config()};
+  const MultiScaleReport benign_report = scanner.scan(scene);
+  data::Rng target_rng(15);
+  const Image target = data::generate_target(32, 32, target_rng);
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  const Image attack_img = attack::craft_attack(scene, target, options).image;
+  const MultiScaleReport attack_report = scanner.scan(attack_img);
+  EXPECT_GT(attack_report.worst_score, 10.0 * benign_report.worst_score);
+}
+
+TEST(MultiScale, ValidatesConfig) {
+  MultiScaleConfig bad;
+  bad.candidate_sides = {};
+  EXPECT_THROW(MultiScaleScanner{bad}, std::invalid_argument);
+  bad = test_config();
+  bad.candidate_sides = {0};
+  EXPECT_THROW(MultiScaleScanner{bad}, std::invalid_argument);
+  bad = test_config();
+  bad.metric = Metric::CSP;
+  EXPECT_THROW(MultiScaleScanner{bad}, std::invalid_argument);
+  const MultiScaleScanner scanner{test_config()};
+  EXPECT_THROW(scanner.scan(Image()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decam::core

@@ -1,0 +1,168 @@
+// Tests for the experiment pipeline: battery scoring, column projection,
+// cache round trip and cache invalidation. Uses tiny sizes to stay fast.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/rng.h"
+#include "data/synth.h"
+
+namespace decam::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.n_train = 3;
+  config.n_eval = 3;
+  config.target_width = config.target_height = 24;
+  config.min_side = 96;
+  config.max_side = 120;
+  config.seed = 7;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("decam_pipeline_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(PipelineTest, ProducesRequestedCounts) {
+  const ExperimentConfig config = tiny_config();
+  const ExperimentData data = run_experiment(config, {}, /*verbose=*/false);
+  EXPECT_EQ(data.train_benign.size(), 3u);
+  EXPECT_EQ(data.train_attack.size(), 3u);
+  EXPECT_EQ(data.eval_benign.size(), 3u);
+  EXPECT_EQ(data.eval_attack_white.size(), 3u);
+  EXPECT_EQ(data.eval_attack_black.size(), 3u);
+  EXPECT_EQ(data.attack_quality.size(), 3u);
+}
+
+TEST_F(PipelineTest, ScoresSeparateClassesEvenAtTinyScale) {
+  const ExperimentData data =
+      run_experiment(tiny_config(), {}, /*verbose=*/false);
+  for (std::size_t i = 0; i < data.train_benign.size(); ++i) {
+    EXPECT_GT(data.train_attack[i].scaling_mse,
+              data.train_benign[i].scaling_mse);
+    EXPECT_LT(data.train_attack[i].scaling_ssim,
+              data.train_benign[i].scaling_ssim);
+  }
+}
+
+TEST_F(PipelineTest, AttackQualityIsAcceptable) {
+  const ExperimentData data =
+      run_experiment(tiny_config(), {}, /*verbose=*/false);
+  for (const AttackQualityRow& row : data.attack_quality) {
+    EXPECT_LE(row.downscale_linf, tiny_config().attack_eps + 2.5);
+    // Mean local SSIM at ratio ~4 lands well below perceptual intuition;
+    // the strong separation claims live in the scale_attack tests.
+    EXPECT_GT(row.source_ssim, 0.04);
+  }
+}
+
+TEST_F(PipelineTest, CacheRoundTripsExactly) {
+  const ExperimentConfig config = tiny_config();
+  const ExperimentData data = run_experiment(config, dir_, /*verbose=*/false);
+  // Second call must hit the cache and return identical values.
+  const ExperimentData cached =
+      run_experiment(config, dir_, /*verbose=*/false);
+  ASSERT_EQ(cached.train_benign.size(), data.train_benign.size());
+  for (std::size_t i = 0; i < data.train_benign.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cached.train_benign[i].scaling_mse,
+                     data.train_benign[i].scaling_mse);
+    EXPECT_DOUBLE_EQ(cached.train_benign[i].csp, data.train_benign[i].csp);
+  }
+  ASSERT_EQ(cached.attack_quality.size(), data.attack_quality.size());
+  EXPECT_DOUBLE_EQ(cached.attack_quality[0].source_ssim,
+                   data.attack_quality[0].source_ssim);
+}
+
+TEST_F(PipelineTest, CacheKeyedByConfig) {
+  ExperimentConfig config = tiny_config();
+  const ExperimentData data = run_experiment(config, dir_, /*verbose=*/false);
+  (void)data;
+  // Different seed -> cache miss -> new data (detectably different scores).
+  config.seed = 8;
+  const ExperimentData other =
+      run_experiment(config, dir_, /*verbose=*/false);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < other.train_benign.size(); ++i) {
+    if (other.train_benign[i].scaling_mse !=
+        data.train_benign[i].scaling_mse) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(PipelineTest, LoadRejectsMismatchedConfig) {
+  const ExperimentConfig config = tiny_config();
+  const ExperimentData data = run_experiment(config, {}, /*verbose=*/false);
+  const auto file = dir_ / "exp.tsv";
+  save_experiment(data, file);
+  ExperimentConfig other = config;
+  other.n_train = 4;
+  EXPECT_FALSE(load_experiment(other, file).has_value());
+  EXPECT_TRUE(load_experiment(config, file).has_value());
+  EXPECT_FALSE(load_experiment(config, dir_ / "missing.tsv").has_value());
+}
+
+TEST_F(PipelineTest, ColumnProjectionExtractsMember) {
+  ExperimentData data;
+  ScoreRow row1;
+  row1.scaling_mse = 5.0;
+  ScoreRow row2;
+  row2.scaling_mse = 7.0;
+  data.train_benign = {row1, row2};
+  const auto column =
+      ExperimentData::column(data.train_benign, &ScoreRow::scaling_mse);
+  ASSERT_EQ(column.size(), 2u);
+  EXPECT_DOUBLE_EQ(column[0], 5.0);
+  EXPECT_DOUBLE_EQ(column[1], 7.0);
+}
+
+TEST_F(PipelineTest, ConfigCacheKeyChangesWithEveryField) {
+  const ExperimentConfig base = tiny_config();
+  ExperimentConfig variant = base;
+  EXPECT_EQ(base.cache_key(), variant.cache_key());
+  variant.n_eval = 99;
+  EXPECT_NE(base.cache_key(), variant.cache_key());
+  variant = base;
+  variant.white_box_algo = ScaleAlgo::Bicubic;
+  EXPECT_NE(base.cache_key(), variant.cache_key());
+  variant = base;
+  variant.attack_eps = 3.0;
+  EXPECT_NE(base.cache_key(), variant.cache_key());
+}
+
+TEST_F(PipelineTest, BatteryPsnrAndHistogramPopulated) {
+  const ExperimentConfig config = tiny_config();
+  const Battery battery(config);
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = config.min_side;
+  params.max_side = config.max_side;
+  data::Rng rng(1);
+  const Image scene = generate_scene(params, rng);
+  const ScoreRow row = battery.score(scene);
+  EXPECT_GT(row.scaling_psnr, 0.0);
+  EXPECT_GT(row.filtering_psnr, 0.0);
+  EXPECT_GT(row.histogram, 0.0);
+  EXPECT_LE(row.histogram, 1.0);
+  EXPECT_GE(row.csp, 1.0);
+}
+
+TEST_F(PipelineTest, RejectsNonPositiveCounts) {
+  ExperimentConfig config = tiny_config();
+  config.n_train = 0;
+  EXPECT_THROW(run_experiment(config, {}, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace decam::core

@@ -1,0 +1,188 @@
+// Tests for the Dykstra attack QP solver: feasibility, optimality against
+// hand-computable cases, box handling, and behaviour across kernels.
+#include "attack/qp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/rng.h"
+
+namespace decam::attack {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed) {
+  data::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_range(lo, hi);
+  return v;
+}
+
+double max_violation(const CoeffMatrix& C, const std::vector<double>& x,
+                     const std::vector<double>& t, double eps) {
+  const auto y = C.multiply(x);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    worst = std::max(worst, std::fabs(y[r] - t[r]) - eps);
+  }
+  return std::max(worst, 0.0);
+}
+
+TEST(QpSolver, AlreadyFeasibleSourceIsUntouched) {
+  const CoeffMatrix C = CoeffMatrix::for_scaling(8, 4, ScaleAlgo::Bilinear);
+  const std::vector<double> s(8, 100.0);
+  const std::vector<double> t(4, 100.0);  // scale of constant 100 IS 100
+  const QpResult result = solve_attack_qp(C, s, t);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.delta_norm_sq, 0.0, 1e-9);
+  for (double x : result.x) EXPECT_NEAR(x, 100.0, 1e-6);
+}
+
+TEST(QpSolver, NearestTargetsAreHitExactly) {
+  // Nearest-neighbour rows have a single unit tap: the QP must move exactly
+  // the sampled entries to within eps of the target and leave others alone.
+  const CoeffMatrix C = CoeffMatrix::for_scaling(8, 2, ScaleAlgo::Nearest);
+  const std::vector<double> s(8, 50.0);
+  const std::vector<double> t = {200.0, 10.0};
+  QpOptions options;
+  options.eps = 1.0;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  EXPECT_TRUE(result.converged);
+  // Sampled indices are 0 and 4 (floor(o * 8/2)).
+  EXPECT_NEAR(result.x[0], 199.0, 1.5);  // moves to the slab boundary
+  EXPECT_NEAR(result.x[4], 11.0, 1.5);
+  for (const std::size_t untouched : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    EXPECT_NEAR(result.x[untouched], 50.0, 1e-6);
+  }
+}
+
+TEST(QpSolver, SolutionIsMinimalNormForSingleConstraint) {
+  // One bilinear row: 0.5 x0 + 0.5 x1 = 200 from s = (0, 0). The minimal-
+  // norm solution moves both coordinates equally: x0 = x1 = 200 - eps.
+  const CoeffMatrix C = CoeffMatrix::for_scaling(2, 1, ScaleAlgo::Bilinear);
+  const std::vector<double> s = {0.0, 0.0};
+  const std::vector<double> t = {200.0};
+  QpOptions options;
+  options.eps = 2.0;
+  options.tolerance = 0.01;
+  options.max_sweeps = 500;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], result.x[1], 0.1);
+  EXPECT_NEAR(0.5 * (result.x[0] + result.x[1]), 198.0, 0.2);
+}
+
+class QpAcrossKernels : public ::testing::TestWithParam<ScaleAlgo> {};
+
+TEST_P(QpAcrossKernels, ReachesFeasibilityWithinBox) {
+  const ScaleAlgo algo = GetParam();
+  const CoeffMatrix C = CoeffMatrix::for_scaling(48, 12, algo);
+  const auto s = random_vector(48, 40.0, 220.0, 7);
+  const auto t = random_vector(12, 5.0, 250.0, 8);
+  QpOptions options;
+  options.eps = 1.0;
+  options.max_sweeps = 400;
+  options.tolerance = 0.5;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  EXPECT_TRUE(result.converged) << to_string(algo);
+  EXPECT_LE(max_violation(C, result.x, t, options.eps), options.tolerance + 1e-6);
+  for (double x : result.x) {
+    EXPECT_GE(x, options.lo - 1e-9);
+    EXPECT_LE(x, options.hi + 1e-9);
+  }
+}
+
+TEST_P(QpAcrossKernels, PerturbationShrinksWhenTargetIsCloser) {
+  const ScaleAlgo algo = GetParam();
+  const CoeffMatrix C = CoeffMatrix::for_scaling(32, 8, algo);
+  const auto s = random_vector(32, 100.0, 150.0, 9);
+  // A target near the natural downscale needs a tiny Δ; a distant one more.
+  std::vector<double> near_target = C.multiply(s);
+  for (double& v : near_target) v += 3.0;
+  std::vector<double> far_target = C.multiply(s);
+  for (double& v : far_target) v += 90.0;
+  QpOptions options;
+  options.max_sweeps = 400;
+  const QpResult near_result = solve_attack_qp(C, s, near_target, options);
+  const QpResult far_result = solve_attack_qp(C, s, far_target, options);
+  EXPECT_LT(near_result.delta_norm_sq, far_result.delta_norm_sq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, QpAcrossKernels,
+                         ::testing::Values(ScaleAlgo::Nearest,
+                                           ScaleAlgo::Bilinear,
+                                           ScaleAlgo::Bicubic,
+                                           ScaleAlgo::Lanczos4),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(QpSolver, RespectsCustomBox) {
+  const CoeffMatrix C = CoeffMatrix::for_scaling(4, 1, ScaleAlgo::Nearest);
+  const std::vector<double> s = {10.0, 10.0, 10.0, 10.0};
+  const std::vector<double> t = {500.0};  // unreachable inside [0, 255]
+  QpOptions options;
+  options.eps = 0.0;
+  options.max_sweeps = 50;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  EXPECT_FALSE(result.converged);
+  for (double x : result.x) {
+    EXPECT_GE(x, 0.0 - 1e-9);
+    EXPECT_LE(x, 255.0 + 1e-9);
+  }
+  // Best effort: the sampled pixel saturates at the box bound.
+  EXPECT_NEAR(result.x[0], 255.0, 1e-6);
+}
+
+TEST(QpSolver, ReportsDeltaNormAccurately) {
+  const CoeffMatrix C = CoeffMatrix::for_scaling(4, 2, ScaleAlgo::Nearest);
+  const std::vector<double> s = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> t = {100.0, 100.0};
+  QpOptions options;
+  options.eps = 0.0;
+  options.tolerance = 1e-6;
+  options.max_sweeps = 10;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected += (result.x[i] - s[i]) * (result.x[i] - s[i]);
+  }
+  EXPECT_NEAR(result.delta_norm_sq, expected, 1e-9);
+  EXPECT_NEAR(result.delta_norm_sq, 2.0 * 100.0 * 100.0, 1e-3);
+}
+
+TEST(QpSolver, ValidatesArguments) {
+  const CoeffMatrix C = CoeffMatrix::for_scaling(8, 4, ScaleAlgo::Bilinear);
+  const std::vector<double> s(8, 0.0);
+  const std::vector<double> t(4, 0.0);
+  EXPECT_THROW(solve_attack_qp(C, std::vector<double>(7, 0.0), t),
+               std::invalid_argument);
+  EXPECT_THROW(solve_attack_qp(C, s, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+  QpOptions bad;
+  bad.eps = -1.0;
+  EXPECT_THROW(solve_attack_qp(C, s, t, bad), std::invalid_argument);
+  bad = {};
+  bad.lo = 10.0;
+  bad.hi = 5.0;
+  EXPECT_THROW(solve_attack_qp(C, s, t, bad), std::invalid_argument);
+  bad = {};
+  bad.max_sweeps = 0;
+  EXPECT_THROW(solve_attack_qp(C, s, t, bad), std::invalid_argument);
+}
+
+TEST(QpSolver, SweepsUsedIsBoundedAndReported) {
+  const CoeffMatrix C = CoeffMatrix::for_scaling(16, 4, ScaleAlgo::Bilinear);
+  const auto s = random_vector(16, 0.0, 255.0, 11);
+  const auto t = random_vector(4, 0.0, 255.0, 12);
+  QpOptions options;
+  options.max_sweeps = 7;
+  options.tolerance = 1e-12;
+  const QpResult result = solve_attack_qp(C, s, t, options);
+  EXPECT_GE(result.sweeps_used, 1);
+  EXPECT_LE(result.sweeps_used, 7);
+}
+
+}  // namespace
+}  // namespace decam::attack

@@ -1,0 +1,107 @@
+// Tests for the ASCII table and histogram renderers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "report/histogram_ascii.h"
+#include "report/table.h"
+
+namespace decam::report {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table table({"Method", "Acc."});
+  table.add_row({"scaling", "99.9%"});
+  table.add_row({"filtering", "99.3%"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("scaling"), std::string::npos);
+  EXPECT_NE(out.find("99.3%"), std::string::npos);
+  // Borders present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+  EXPECT_EQ(out.front(), '+');
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table table({"A", "B"});
+  table.add_row({"long-cell-content", "x"});
+  const std::string out = table.render();
+  // Each line has identical length (a rectangle).
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(end - pos, expected);
+    pos = end + 1;
+  }
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Formatting, PercentAndDouble) {
+  EXPECT_EQ(format_percent(0.999), "99.9%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0325, 2), "3.25%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1714.957, 1), "1715.0");
+}
+
+TEST(Histogram, RendersBothClassesAndThreshold) {
+  const std::vector<double> benign = {1, 2, 2, 3, 3, 3};
+  const std::vector<double> attack = {8, 9, 9, 10};
+  HistogramOptions options;
+  options.bins = 10;
+  options.threshold = 5.0;
+  const std::string out = render_histogram(benign, attack, options);
+  EXPECT_NE(out.find("benign"), std::string::npos);
+  EXPECT_NE(out.find("attack"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("<-- threshold"), std::string::npos);
+}
+
+TEST(Histogram, SingleClassRendersWithoutStars) {
+  const std::vector<double> benign = {1, 2, 3};
+  HistogramOptions options;
+  options.bins = 4;
+  const std::string out = render_histogram(benign, {}, options);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_EQ(out.find('*'), std::string::npos);
+}
+
+TEST(Histogram, LogScaleHandlesWideDynamicRange) {
+  const std::vector<double> small = {1.0, 2.0};
+  const std::vector<double> huge = {1e6, 2e6};
+  HistogramOptions options;
+  options.bins = 8;
+  options.log_x = true;
+  const std::string out = render_histogram(small, huge, options);
+  EXPECT_NE(out.find("[log-x]"), std::string::npos);
+  // Both populations visible: at least one '#' bar and one '*' bar.
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Histogram, ValidatesInput) {
+  HistogramOptions options;
+  EXPECT_THROW(render_histogram({}, {}, options), std::invalid_argument);
+  options.bins = 1;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(render_histogram(one, {}, options), std::invalid_argument);
+}
+
+TEST(Histogram, ConstantDataDoesNotDivideByZero) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  HistogramOptions options;
+  options.bins = 4;
+  const std::string out = render_histogram(constant, {}, options);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decam::report

@@ -1,0 +1,206 @@
+// Tests for 2-D resize(): identity, separability against the explicit
+// operator, known geometric cases and the round-trip helper.
+#include "imaging/scale.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/coeff_matrix.h"
+#include "data/rng.h"
+
+namespace decam {
+namespace {
+
+Image noise_image(int w, int h, int channels, std::uint64_t seed) {
+  data::Rng rng(seed);
+  Image img(w, h, channels);
+  for (int c = 0; c < channels; ++c) {
+    for (float& v : img.plane(c)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+class ResizeIdentity : public ::testing::TestWithParam<ScaleAlgo> {};
+
+TEST_P(ResizeIdentity, SameSizeResizeIsExact) {
+  const Image img = noise_image(23, 17, 3, 7);
+  const Image out = resize(img, 23, 17, GetParam());
+  ASSERT_TRUE(out.same_shape(img));
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        EXPECT_NEAR(out.at(x, y, c), img.at(x, y, c), 1e-3f)
+            << "at " << x << "," << y << "," << c;
+      }
+    }
+  }
+}
+
+TEST_P(ResizeIdentity, ConstantImageStaysConstant) {
+  const Image img(40, 30, 1, 99.0f);
+  const Image out = resize(img, 13, 11, GetParam());
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      EXPECT_NEAR(out.at(x, y, 0), 99.0f, 1e-3f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ResizeIdentity,
+                         ::testing::Values(ScaleAlgo::Nearest,
+                                           ScaleAlgo::Bilinear,
+                                           ScaleAlgo::Bicubic, ScaleAlgo::Area,
+                                           ScaleAlgo::Lanczos4),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+class ResizeOperatorEquivalence
+    : public ::testing::TestWithParam<ScaleAlgo> {};
+
+TEST_P(ResizeOperatorEquivalence, MatchesExplicitLinearOperator) {
+  // resize(X) must equal L X R^T computed with the CoeffMatrix view —
+  // the attack's model of the scaler and the actual scaler must agree.
+  const ScaleAlgo algo = GetParam();
+  const Image img = noise_image(19, 13, 1, 11);
+  const int out_w = 7, out_h = 5;
+  const Image fast = resize(img, out_w, out_h, algo);
+
+  const attack::CoeffMatrix R =
+      attack::CoeffMatrix::for_scaling(img.width(), out_w, algo);
+  const attack::CoeffMatrix L =
+      attack::CoeffMatrix::for_scaling(img.height(), out_h, algo);
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      double acc = 0.0;
+      for (const Tap& ty : L.row_taps(oy)) {
+        for (const Tap& tx : R.row_taps(ox)) {
+          acc += static_cast<double>(ty.weight) * tx.weight *
+                 img.at(tx.index, ty.index, 0);
+        }
+      }
+      EXPECT_NEAR(fast.at(ox, oy, 0), acc, 1e-3)
+          << to_string(algo) << " at " << ox << "," << oy;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ResizeOperatorEquivalence,
+                         ::testing::Values(ScaleAlgo::Nearest,
+                                           ScaleAlgo::Bilinear,
+                                           ScaleAlgo::Bicubic, ScaleAlgo::Area,
+                                           ScaleAlgo::Lanczos4),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Resize, NearestDownscalePicksTopLeftOfEachBlock) {
+  Image img(4, 4, 1);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) img.at(x, y, 0) = static_cast<float>(y * 4 + x);
+  }
+  const Image out = resize(img, 2, 2, ScaleAlgo::Nearest);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 10.0f);
+}
+
+TEST(Resize, BilinearHalfScaleAveragesBlocks) {
+  Image img(4, 2, 1);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(1, 0, 0) = 100.0f;
+  img.at(2, 0, 0) = 50.0f;
+  img.at(3, 0, 0) = 150.0f;
+  img.at(0, 1, 0) = 200.0f;
+  img.at(1, 1, 0) = 100.0f;
+  img.at(2, 1, 0) = 250.0f;
+  img.at(3, 1, 0) = 50.0f;
+  const Image out = resize(img, 2, 1, ScaleAlgo::Bilinear);
+  EXPECT_NEAR(out.at(0, 0, 0), (0 + 100 + 200 + 100) / 4.0f, 1e-3f);
+  EXPECT_NEAR(out.at(1, 0, 0), (50 + 150 + 250 + 50) / 4.0f, 1e-3f);
+}
+
+TEST(Resize, UpscaleInterpolatesBetweenSamples) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(1, 0, 0) = 100.0f;
+  const Image out = resize(img, 4, 1, ScaleAlgo::Bilinear);
+  // Half-pixel mapping: centres at -0.25, 0.25, 0.75, 1.25 (clamped).
+  EXPECT_NEAR(out.at(0, 0, 0), 0.0f, 1e-3f);
+  EXPECT_NEAR(out.at(1, 0, 0), 25.0f, 1e-3f);
+  EXPECT_NEAR(out.at(2, 0, 0), 75.0f, 1e-3f);
+  EXPECT_NEAR(out.at(3, 0, 0), 100.0f, 1e-3f);
+}
+
+TEST(Resize, ChannelsAreIndependent) {
+  Image img(8, 8, 3);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : img.plane(c)) v = static_cast<float>(50 * c);
+  }
+  const Image out = resize(img, 3, 3, ScaleAlgo::Bicubic);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 3; ++x) {
+        EXPECT_NEAR(out.at(x, y, c), 50.0f * c, 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(Resize, SquareConvenienceOverload) {
+  const Image img = noise_image(30, 20, 1, 5);
+  const Image a = resize(img, 10, ScaleAlgo::Bilinear);
+  const Image b = resize(img, 10, 10, ScaleAlgo::Bilinear);
+  ASSERT_TRUE(a.same_shape(b));
+  EXPECT_FLOAT_EQ(a.at(5, 5, 0), b.at(5, 5, 0));
+}
+
+TEST(Resize, RejectsEmptyAndBadGeometry) {
+  EXPECT_THROW(resize(Image(), 4, 4, ScaleAlgo::Bilinear),
+               std::invalid_argument);
+  const Image img = noise_image(8, 8, 1, 1);
+  EXPECT_THROW(resize(img, 0, 4, ScaleAlgo::Bilinear), std::invalid_argument);
+  EXPECT_THROW(resize(img, 4, -1, ScaleAlgo::Bilinear), std::invalid_argument);
+}
+
+TEST(ScaleRoundTrip, PreservesGeometryAndSmoothContent) {
+  // A smooth gradient survives the round trip almost exactly — this is the
+  // benign-image premise of the scaling detection method.
+  Image img(64, 48, 1);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img.at(x, y, 0) = static_cast<float>(x * 2 + y);
+    }
+  }
+  const Image round = scale_round_trip(img, 32, 24, ScaleAlgo::Bilinear,
+                                       ScaleAlgo::Bilinear);
+  ASSERT_TRUE(round.same_shape(img));
+  double max_err = 0.0;
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      max_err = std::max(max_err,
+                         std::abs(static_cast<double>(round.at(x, y, 0)) -
+                                  img.at(x, y, 0)));
+    }
+  }
+  EXPECT_LT(max_err, 3.0);
+}
+
+TEST(Resize, LanczosOvershootsStepEdgesUnlikeBilinear) {
+  // Negative lobes make Lanczos overshoot a step edge; bilinear cannot.
+  Image img(32, 1, 1);
+  for (int x = 0; x < 32; ++x) img.at(x, 0, 0) = x < 16 ? 0.0f : 200.0f;
+  const Image lanczos = resize(img, 64, 1, ScaleAlgo::Lanczos4);
+  const Image bilinear = resize(img, 64, 1, ScaleAlgo::Bilinear);
+  float lanczos_max = lanczos.max_value();
+  float bilinear_max = bilinear.max_value();
+  EXPECT_GT(lanczos_max, 200.0f + 1.0f);
+  EXPECT_LE(bilinear_max, 200.0f + 1e-3f);
+}
+
+}  // namespace
+}  // namespace decam
