@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_histogram.dir/ablation_histogram.cpp.o"
+  "CMakeFiles/ablation_histogram.dir/ablation_histogram.cpp.o.d"
+  "ablation_histogram"
+  "ablation_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prevention_quality.dir/ablation_prevention_quality.cpp.o"
+  "CMakeFiles/ablation_prevention_quality.dir/ablation_prevention_quality.cpp.o.d"
+  "ablation_prevention_quality"
+  "ablation_prevention_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prevention_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_robust_scaler.dir/ablation_robust_scaler.cpp.o"
+  "CMakeFiles/ablation_robust_scaler.dir/ablation_robust_scaler.cpp.o.d"
+  "ablation_robust_scaler"
+  "ablation_robust_scaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robust_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

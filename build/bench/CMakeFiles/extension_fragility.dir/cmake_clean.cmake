@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fragility.dir/extension_fragility.cpp.o"
+  "CMakeFiles/extension_fragility.dir/extension_fragility.cpp.o.d"
+  "extension_fragility"
+  "extension_fragility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fragility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

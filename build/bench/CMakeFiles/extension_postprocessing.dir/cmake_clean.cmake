@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_postprocessing.dir/extension_postprocessing.cpp.o"
+  "CMakeFiles/extension_postprocessing.dir/extension_postprocessing.cpp.o.d"
+  "extension_postprocessing"
+  "extension_postprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_postprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ratio.dir/extension_ratio.cpp.o"
+  "CMakeFiles/extension_ratio.dir/extension_ratio.cpp.o.d"
+  "extension_ratio"
+  "extension_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

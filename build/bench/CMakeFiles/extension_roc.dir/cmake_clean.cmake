@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_roc.dir/extension_roc.cpp.o"
+  "CMakeFiles/extension_roc.dir/extension_roc.cpp.o.d"
+  "extension_roc"
+  "extension_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_runtime_attack.dir/extension_runtime_attack.cpp.o"
+  "CMakeFiles/extension_runtime_attack.dir/extension_runtime_attack.cpp.o.d"
+  "extension_runtime_attack"
+  "extension_runtime_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_runtime_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_runtime_attack.
+# This may be replaced when dependencies are built.

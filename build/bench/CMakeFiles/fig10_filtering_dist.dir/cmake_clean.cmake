@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_filtering_dist.dir/fig10_filtering_dist.cpp.o"
+  "CMakeFiles/fig10_filtering_dist.dir/fig10_filtering_dist.cpp.o.d"
+  "fig10_filtering_dist"
+  "fig10_filtering_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_filtering_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_filtering_blackbox_dist.dir/fig11_filtering_blackbox_dist.cpp.o"
+  "CMakeFiles/fig11_filtering_blackbox_dist.dir/fig11_filtering_blackbox_dist.cpp.o.d"
+  "fig11_filtering_blackbox_dist"
+  "fig11_filtering_blackbox_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_filtering_blackbox_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_filtering_blackbox_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_csp_dist.dir/fig12_csp_dist.cpp.o"
+  "CMakeFiles/fig12_csp_dist.dir/fig12_csp_dist.cpp.o.d"
+  "fig12_csp_dist"
+  "fig12_csp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_csp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_threshold_search.dir/fig14_threshold_search.cpp.o"
+  "CMakeFiles/fig14_threshold_search.dir/fig14_threshold_search.cpp.o.d"
+  "fig14_threshold_search"
+  "fig14_threshold_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_threshold_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_psnr_overlap.dir/fig15_psnr_overlap.cpp.o"
+  "CMakeFiles/fig15_psnr_overlap.dir/fig15_psnr_overlap.cpp.o.d"
+  "fig15_psnr_overlap"
+  "fig15_psnr_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_psnr_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

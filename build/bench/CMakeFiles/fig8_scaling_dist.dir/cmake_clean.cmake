@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scaling_dist.dir/fig8_scaling_dist.cpp.o"
+  "CMakeFiles/fig8_scaling_dist.dir/fig8_scaling_dist.cpp.o.d"
+  "fig8_scaling_dist"
+  "fig8_scaling_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scaling_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

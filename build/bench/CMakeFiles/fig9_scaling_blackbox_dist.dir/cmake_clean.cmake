@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scaling_blackbox_dist.dir/fig9_scaling_blackbox_dist.cpp.o"
+  "CMakeFiles/fig9_scaling_blackbox_dist.dir/fig9_scaling_blackbox_dist.cpp.o.d"
+  "fig9_scaling_blackbox_dist"
+  "fig9_scaling_blackbox_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scaling_blackbox_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

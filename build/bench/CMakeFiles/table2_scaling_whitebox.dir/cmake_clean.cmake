@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scaling_whitebox.dir/table2_scaling_whitebox.cpp.o"
+  "CMakeFiles/table2_scaling_whitebox.dir/table2_scaling_whitebox.cpp.o.d"
+  "table2_scaling_whitebox"
+  "table2_scaling_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scaling_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

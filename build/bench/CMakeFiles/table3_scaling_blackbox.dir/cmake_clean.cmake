@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scaling_blackbox.dir/table3_scaling_blackbox.cpp.o"
+  "CMakeFiles/table3_scaling_blackbox.dir/table3_scaling_blackbox.cpp.o.d"
+  "table3_scaling_blackbox"
+  "table3_scaling_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scaling_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

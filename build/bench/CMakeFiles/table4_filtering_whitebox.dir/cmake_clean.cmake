@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_filtering_whitebox.dir/table4_filtering_whitebox.cpp.o"
+  "CMakeFiles/table4_filtering_whitebox.dir/table4_filtering_whitebox.cpp.o.d"
+  "table4_filtering_whitebox"
+  "table4_filtering_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_filtering_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

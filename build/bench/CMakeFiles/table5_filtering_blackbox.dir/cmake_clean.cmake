@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_filtering_blackbox.dir/table5_filtering_blackbox.cpp.o"
+  "CMakeFiles/table5_filtering_blackbox.dir/table5_filtering_blackbox.cpp.o.d"
+  "table5_filtering_blackbox"
+  "table5_filtering_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_filtering_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_steganalysis.dir/table6_steganalysis.cpp.o"
+  "CMakeFiles/table6_steganalysis.dir/table6_steganalysis.cpp.o.d"
+  "table6_steganalysis"
+  "table6_steganalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_steganalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

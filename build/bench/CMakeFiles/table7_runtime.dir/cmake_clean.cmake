@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_runtime.dir/table7_runtime.cpp.o"
+  "CMakeFiles/table7_runtime.dir/table7_runtime.cpp.o.d"
+  "table7_runtime"
+  "table7_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_ensemble.dir/table8_ensemble.cpp.o"
+  "CMakeFiles/table8_ensemble.dir/table8_ensemble.cpp.o.d"
+  "table8_ensemble"
+  "table8_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

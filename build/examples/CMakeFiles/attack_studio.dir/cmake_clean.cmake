@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_studio.dir/attack_studio.cpp.o"
+  "CMakeFiles/attack_studio.dir/attack_studio.cpp.o.d"
+  "attack_studio"
+  "attack_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_studio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backdoor_e2e.dir/backdoor_e2e.cpp.o"
+  "CMakeFiles/backdoor_e2e.dir/backdoor_e2e.cpp.o.d"
+  "backdoor_e2e"
+  "backdoor_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backdoor_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

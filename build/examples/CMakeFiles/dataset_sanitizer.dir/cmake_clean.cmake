@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_sanitizer.dir/dataset_sanitizer.cpp.o"
+  "CMakeFiles/dataset_sanitizer.dir/dataset_sanitizer.cpp.o.d"
+  "dataset_sanitizer"
+  "dataset_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

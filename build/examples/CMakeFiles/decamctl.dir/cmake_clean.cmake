@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decamctl.dir/decamctl.cpp.o"
+  "CMakeFiles/decamctl.dir/decamctl.cpp.o.d"
+  "decamctl"
+  "decamctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decamctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

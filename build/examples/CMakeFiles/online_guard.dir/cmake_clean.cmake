@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_guard.dir/online_guard.cpp.o"
+  "CMakeFiles/online_guard.dir/online_guard.cpp.o.d"
+  "online_guard"
+  "online_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

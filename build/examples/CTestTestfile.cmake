@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(decamctl_end_to_end "/usr/bin/cmake" "-DDECAMCTL=/root/repo/build/examples/decamctl" "-DWORK_DIR=/root/repo/build/examples/decamctl_test" "-P" "/root/repo/examples/decamctl_test.cmake")
+set_tests_properties(decamctl_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adaptive.cpp" "src/CMakeFiles/decam_attack.dir/attack/adaptive.cpp.o" "gcc" "src/CMakeFiles/decam_attack.dir/attack/adaptive.cpp.o.d"
+  "/root/repo/src/attack/coeff_matrix.cpp" "src/CMakeFiles/decam_attack.dir/attack/coeff_matrix.cpp.o" "gcc" "src/CMakeFiles/decam_attack.dir/attack/coeff_matrix.cpp.o.d"
+  "/root/repo/src/attack/critical_pixels.cpp" "src/CMakeFiles/decam_attack.dir/attack/critical_pixels.cpp.o" "gcc" "src/CMakeFiles/decam_attack.dir/attack/critical_pixels.cpp.o.d"
+  "/root/repo/src/attack/qp_solver.cpp" "src/CMakeFiles/decam_attack.dir/attack/qp_solver.cpp.o" "gcc" "src/CMakeFiles/decam_attack.dir/attack/qp_solver.cpp.o.d"
+  "/root/repo/src/attack/scale_attack.cpp" "src/CMakeFiles/decam_attack.dir/attack/scale_attack.cpp.o" "gcc" "src/CMakeFiles/decam_attack.dir/attack/scale_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

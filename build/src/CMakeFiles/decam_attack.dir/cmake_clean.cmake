@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_attack.dir/attack/adaptive.cpp.o"
+  "CMakeFiles/decam_attack.dir/attack/adaptive.cpp.o.d"
+  "CMakeFiles/decam_attack.dir/attack/coeff_matrix.cpp.o"
+  "CMakeFiles/decam_attack.dir/attack/coeff_matrix.cpp.o.d"
+  "CMakeFiles/decam_attack.dir/attack/critical_pixels.cpp.o"
+  "CMakeFiles/decam_attack.dir/attack/critical_pixels.cpp.o.d"
+  "CMakeFiles/decam_attack.dir/attack/qp_solver.cpp.o"
+  "CMakeFiles/decam_attack.dir/attack/qp_solver.cpp.o.d"
+  "CMakeFiles/decam_attack.dir/attack/scale_attack.cpp.o"
+  "CMakeFiles/decam_attack.dir/attack/scale_attack.cpp.o.d"
+  "libdecam_attack.a"
+  "libdecam_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

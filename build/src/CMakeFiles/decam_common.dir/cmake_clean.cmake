@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_common.dir/common/error.cpp.o"
+  "CMakeFiles/decam_common.dir/common/error.cpp.o.d"
+  "libdecam_common.a"
+  "libdecam_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

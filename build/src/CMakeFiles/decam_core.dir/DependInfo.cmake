@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/decam_core.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/calibration_io.cpp" "src/CMakeFiles/decam_core.dir/core/calibration_io.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/calibration_io.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/CMakeFiles/decam_core.dir/core/ensemble.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/ensemble.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/CMakeFiles/decam_core.dir/core/evaluation.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/evaluation.cpp.o.d"
+  "/root/repo/src/core/filtering_detector.cpp" "src/CMakeFiles/decam_core.dir/core/filtering_detector.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/filtering_detector.cpp.o.d"
+  "/root/repo/src/core/histogram_detector.cpp" "src/CMakeFiles/decam_core.dir/core/histogram_detector.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/histogram_detector.cpp.o.d"
+  "/root/repo/src/core/multiscale.cpp" "src/CMakeFiles/decam_core.dir/core/multiscale.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/multiscale.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/decam_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/reconstruction_defense.cpp" "src/CMakeFiles/decam_core.dir/core/reconstruction_defense.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/reconstruction_defense.cpp.o.d"
+  "/root/repo/src/core/roc.cpp" "src/CMakeFiles/decam_core.dir/core/roc.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/roc.cpp.o.d"
+  "/root/repo/src/core/scaling_detector.cpp" "src/CMakeFiles/decam_core.dir/core/scaling_detector.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/scaling_detector.cpp.o.d"
+  "/root/repo/src/core/steganalysis_detector.cpp" "src/CMakeFiles/decam_core.dir/core/steganalysis_detector.cpp.o" "gcc" "src/CMakeFiles/decam_core.dir/core/steganalysis_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_cv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_core.dir/core/calibration.cpp.o"
+  "CMakeFiles/decam_core.dir/core/calibration.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/calibration_io.cpp.o"
+  "CMakeFiles/decam_core.dir/core/calibration_io.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/ensemble.cpp.o"
+  "CMakeFiles/decam_core.dir/core/ensemble.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/evaluation.cpp.o"
+  "CMakeFiles/decam_core.dir/core/evaluation.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/filtering_detector.cpp.o"
+  "CMakeFiles/decam_core.dir/core/filtering_detector.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/histogram_detector.cpp.o"
+  "CMakeFiles/decam_core.dir/core/histogram_detector.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/multiscale.cpp.o"
+  "CMakeFiles/decam_core.dir/core/multiscale.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/decam_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/reconstruction_defense.cpp.o"
+  "CMakeFiles/decam_core.dir/core/reconstruction_defense.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/roc.cpp.o"
+  "CMakeFiles/decam_core.dir/core/roc.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/scaling_detector.cpp.o"
+  "CMakeFiles/decam_core.dir/core/scaling_detector.cpp.o.d"
+  "CMakeFiles/decam_core.dir/core/steganalysis_detector.cpp.o"
+  "CMakeFiles/decam_core.dir/core/steganalysis_detector.cpp.o.d"
+  "libdecam_core.a"
+  "libdecam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

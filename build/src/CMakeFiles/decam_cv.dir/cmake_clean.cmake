@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_cv.dir/cv/connected_components.cpp.o"
+  "CMakeFiles/decam_cv.dir/cv/connected_components.cpp.o.d"
+  "CMakeFiles/decam_cv.dir/cv/threshold.cpp.o"
+  "CMakeFiles/decam_cv.dir/cv/threshold.cpp.o.d"
+  "libdecam_cv.a"
+  "libdecam_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

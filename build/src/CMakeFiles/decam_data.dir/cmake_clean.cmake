@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_data.dir/data/noise.cpp.o"
+  "CMakeFiles/decam_data.dir/data/noise.cpp.o.d"
+  "CMakeFiles/decam_data.dir/data/rng.cpp.o"
+  "CMakeFiles/decam_data.dir/data/rng.cpp.o.d"
+  "CMakeFiles/decam_data.dir/data/synth.cpp.o"
+  "CMakeFiles/decam_data.dir/data/synth.cpp.o.d"
+  "CMakeFiles/decam_data.dir/data/trigger.cpp.o"
+  "CMakeFiles/decam_data.dir/data/trigger.cpp.o.d"
+  "libdecam_data.a"
+  "libdecam_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/color.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/color.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/color.cpp.o.d"
+  "/root/repo/src/imaging/draw.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/draw.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/draw.cpp.o.d"
+  "/root/repo/src/imaging/filter.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/filter.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/filter.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/image.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/image.cpp.o.d"
+  "/root/repo/src/imaging/image_io.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/image_io.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/image_io.cpp.o.d"
+  "/root/repo/src/imaging/jpeg_sim.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/jpeg_sim.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/jpeg_sim.cpp.o.d"
+  "/root/repo/src/imaging/kernels.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/kernels.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/kernels.cpp.o.d"
+  "/root/repo/src/imaging/scale.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/scale.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/scale.cpp.o.d"
+  "/root/repo/src/imaging/transform.cpp" "src/CMakeFiles/decam_imaging.dir/imaging/transform.cpp.o" "gcc" "src/CMakeFiles/decam_imaging.dir/imaging/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

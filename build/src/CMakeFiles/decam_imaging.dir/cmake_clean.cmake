@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_imaging.dir/imaging/color.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/color.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/draw.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/draw.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/filter.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/filter.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/image.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/image.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/image_io.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/image_io.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/jpeg_sim.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/jpeg_sim.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/kernels.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/kernels.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/scale.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/scale.cpp.o.d"
+  "CMakeFiles/decam_imaging.dir/imaging/transform.cpp.o"
+  "CMakeFiles/decam_imaging.dir/imaging/transform.cpp.o.d"
+  "libdecam_imaging.a"
+  "libdecam_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

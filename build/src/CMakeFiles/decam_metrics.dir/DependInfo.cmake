@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/histogram.cpp" "src/CMakeFiles/decam_metrics.dir/metrics/histogram.cpp.o" "gcc" "src/CMakeFiles/decam_metrics.dir/metrics/histogram.cpp.o.d"
+  "/root/repo/src/metrics/mse.cpp" "src/CMakeFiles/decam_metrics.dir/metrics/mse.cpp.o" "gcc" "src/CMakeFiles/decam_metrics.dir/metrics/mse.cpp.o.d"
+  "/root/repo/src/metrics/ssim.cpp" "src/CMakeFiles/decam_metrics.dir/metrics/ssim.cpp.o" "gcc" "src/CMakeFiles/decam_metrics.dir/metrics/ssim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

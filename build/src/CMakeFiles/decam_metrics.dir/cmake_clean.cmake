@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_metrics.dir/metrics/histogram.cpp.o"
+  "CMakeFiles/decam_metrics.dir/metrics/histogram.cpp.o.d"
+  "CMakeFiles/decam_metrics.dir/metrics/mse.cpp.o"
+  "CMakeFiles/decam_metrics.dir/metrics/mse.cpp.o.d"
+  "CMakeFiles/decam_metrics.dir/metrics/ssim.cpp.o"
+  "CMakeFiles/decam_metrics.dir/metrics/ssim.cpp.o.d"
+  "libdecam_metrics.a"
+  "libdecam_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_ml.dir/ml/classifier.cpp.o"
+  "CMakeFiles/decam_ml.dir/ml/classifier.cpp.o.d"
+  "CMakeFiles/decam_ml.dir/ml/layers.cpp.o"
+  "CMakeFiles/decam_ml.dir/ml/layers.cpp.o.d"
+  "CMakeFiles/decam_ml.dir/ml/tensor.cpp.o"
+  "CMakeFiles/decam_ml.dir/ml/tensor.cpp.o.d"
+  "libdecam_ml.a"
+  "libdecam_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

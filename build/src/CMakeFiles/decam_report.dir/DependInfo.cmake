@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/histogram_ascii.cpp" "src/CMakeFiles/decam_report.dir/report/histogram_ascii.cpp.o" "gcc" "src/CMakeFiles/decam_report.dir/report/histogram_ascii.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/decam_report.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/decam_report.dir/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

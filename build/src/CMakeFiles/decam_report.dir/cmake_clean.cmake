@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_report.dir/report/histogram_ascii.cpp.o"
+  "CMakeFiles/decam_report.dir/report/histogram_ascii.cpp.o.d"
+  "CMakeFiles/decam_report.dir/report/table.cpp.o"
+  "CMakeFiles/decam_report.dir/report/table.cpp.o.d"
+  "libdecam_report.a"
+  "libdecam_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

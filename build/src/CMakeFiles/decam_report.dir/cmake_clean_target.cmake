@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecam_report.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decam_signal.dir/signal/fft.cpp.o"
+  "CMakeFiles/decam_signal.dir/signal/fft.cpp.o.d"
+  "CMakeFiles/decam_signal.dir/signal/spectrum.cpp.o"
+  "CMakeFiles/decam_signal.dir/signal/spectrum.cpp.o.d"
+  "libdecam_signal.a"
+  "libdecam_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decam_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

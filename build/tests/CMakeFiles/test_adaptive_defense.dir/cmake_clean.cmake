@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_defense.dir/adaptive_defense_test.cpp.o"
+  "CMakeFiles/test_adaptive_defense.dir/adaptive_defense_test.cpp.o.d"
+  "test_adaptive_defense"
+  "test_adaptive_defense.pdb"
+  "test_adaptive_defense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

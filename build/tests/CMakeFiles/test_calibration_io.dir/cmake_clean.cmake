@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_io.dir/calibration_io_test.cpp.o"
+  "CMakeFiles/test_calibration_io.dir/calibration_io_test.cpp.o.d"
+  "test_calibration_io"
+  "test_calibration_io.pdb"
+  "test_calibration_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coeff_matrix.dir/coeff_matrix_test.cpp.o"
+  "CMakeFiles/test_coeff_matrix.dir/coeff_matrix_test.cpp.o.d"
+  "test_coeff_matrix"
+  "test_coeff_matrix.pdb"
+  "test_coeff_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coeff_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_color_draw.dir/color_draw_test.cpp.o"
+  "CMakeFiles/test_color_draw.dir/color_draw_test.cpp.o.d"
+  "test_color_draw"
+  "test_color_draw.pdb"
+  "test_color_draw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_color_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cv.dir/cv_test.cpp.o"
+  "CMakeFiles/test_cv.dir/cv_test.cpp.o.d"
+  "test_cv"
+  "test_cv.pdb"
+  "test_cv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_sweep.dir/detector_sweep_test.cpp.o"
+  "CMakeFiles/test_detector_sweep.dir/detector_sweep_test.cpp.o.d"
+  "test_detector_sweep"
+  "test_detector_sweep.pdb"
+  "test_detector_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

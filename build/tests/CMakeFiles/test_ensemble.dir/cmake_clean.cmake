@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ensemble.dir/ensemble_test.cpp.o"
+  "CMakeFiles/test_ensemble.dir/ensemble_test.cpp.o.d"
+  "test_ensemble"
+  "test_ensemble.pdb"
+  "test_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

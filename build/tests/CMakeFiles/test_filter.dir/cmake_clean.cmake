@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter.dir/filter_test.cpp.o"
+  "CMakeFiles/test_filter.dir/filter_test.cpp.o.d"
+  "test_filter"
+  "test_filter.pdb"
+  "test_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

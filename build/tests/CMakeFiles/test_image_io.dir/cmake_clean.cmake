@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_io.dir/image_io_test.cpp.o"
+  "CMakeFiles/test_image_io.dir/image_io_test.cpp.o.d"
+  "test_image_io"
+  "test_image_io.pdb"
+  "test_image_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_persistence.dir/ml_persistence_test.cpp.o"
+  "CMakeFiles/test_ml_persistence.dir/ml_persistence_test.cpp.o.d"
+  "test_ml_persistence"
+  "test_ml_persistence.pdb"
+  "test_ml_persistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

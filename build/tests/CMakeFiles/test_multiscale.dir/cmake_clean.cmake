@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiscale.dir/multiscale_test.cpp.o"
+  "CMakeFiles/test_multiscale.dir/multiscale_test.cpp.o.d"
+  "test_multiscale"
+  "test_multiscale.pdb"
+  "test_multiscale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qp_solver.dir/qp_solver_test.cpp.o"
+  "CMakeFiles/test_qp_solver.dir/qp_solver_test.cpp.o.d"
+  "test_qp_solver"
+  "test_qp_solver.pdb"
+  "test_qp_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roc.dir/roc_test.cpp.o"
+  "CMakeFiles/test_roc.dir/roc_test.cpp.o.d"
+  "test_roc"
+  "test_roc.pdb"
+  "test_roc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_attack.dir/scale_attack_test.cpp.o"
+  "CMakeFiles/test_scale_attack.dir/scale_attack_test.cpp.o.d"
+  "test_scale_attack"
+  "test_scale_attack.pdb"
+  "test_scale_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum.dir/spectrum_test.cpp.o"
+  "CMakeFiles/test_spectrum.dir/spectrum_test.cpp.o.d"
+  "test_spectrum"
+  "test_spectrum.pdb"
+  "test_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

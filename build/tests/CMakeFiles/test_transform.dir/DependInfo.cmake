@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform_test.cpp" "tests/CMakeFiles/test_transform.dir/transform_test.cpp.o" "gcc" "tests/CMakeFiles/test_transform.dir/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/decam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_cv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/decam_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
