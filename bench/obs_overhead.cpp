@@ -1,0 +1,83 @@
+// Measures the cost of the observability probes themselves, backing the
+// "near-zero overhead when disabled" requirement: a disabled DECAM_SPAN must
+// be nanoseconds (one relaxed atomic load + branch) so instrumenting the
+// imaging/signal kernels cannot shift the Table 7 numbers.
+#include <benchmark/benchmark.h>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace decam;
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    DECAM_SPAN("bench/disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_tracing_enabled(true);
+  obs::TraceBuffer::instance().clear();
+  for (auto _ : state) {
+    DECAM_SPAN("bench/enabled");
+    benchmark::ClobberMemory();
+    // Keep the buffer bounded so the benchmark measures the span, not
+    // vector growth over millions of iterations.
+    if (obs::TraceBuffer::instance().size() > 100000) {
+      obs::TraceBuffer::instance().clear();
+    }
+  }
+  obs::set_tracing_enabled(false);
+  obs::TraceBuffer::instance().clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.add();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  double ms = 0.0;
+  for (auto _ : state) {
+    histogram.record(ms);
+    ms += 0.1;
+    if (ms > 1000.0) ms = 0.0;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &obs::MetricsRegistry::instance().histogram("bench/lookup"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  obs::Histogram histogram;
+  for (int i = 1; i <= 10000; ++i) histogram.record(i * 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.percentile(99.0));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,8 +5,10 @@
 //   decamctl craft  <source> <target> <out>  [--algo A] [--eps E]
 //       Hide <target> inside <source> (the image-scaling attack).
 //   decamctl scan   <image> [--width W --height H] [--algo A]
-//                   [--profile FILE]
-//       Run all three detectors + majority vote on one image.
+//                   [--profile FILE] [--stats] [--json]
+//       Run all three detectors + majority vote on one image. --stats adds
+//       a per-detector latency table (Table 7 ordering); --json prints a
+//       machine-readable report (scores, thresholds, verdict, latency-ms).
 //   decamctl calibrate <benign images...> --out FILE
 //                   [--percentile P] [--width W --height H] [--algo A]
 //       Build a black-box calibration profile from benign samples.
@@ -29,6 +31,10 @@
 #include "core/scaling_detector.h"
 #include "core/steganalysis_detector.h"
 #include "imaging/image_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "signal/spectrum.h"
 
 using namespace decam;
@@ -41,6 +47,7 @@ namespace {
       "usage: decamctl <craft|scan|calibrate|downscale|spectrum> ...\n"
       "  craft <source> <target> <out> [--algo A] [--eps E]\n"
       "  scan <image> [--width W] [--height H] [--algo A] [--profile F]\n"
+      "       [--stats] [--json]\n"
       "  calibrate <benign...> --out F [--percentile P] [--margin M]\n"
       "            [--width W]\n"
       "            [--height H] [--algo A]\n"
@@ -87,6 +94,8 @@ struct Options {
   double margin = 1.0;  // safety factor widening small-sample thresholds
   std::string profile;
   std::string out;
+  bool stats = false;
+  bool json = false;
 };
 
 Options parse(int argc, char** argv, int first) {
@@ -113,6 +122,10 @@ Options parse(int argc, char** argv, int first) {
       options.profile = next();
     } else if (arg == "--out") {
       options.out = next();
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -159,6 +172,22 @@ Detectors make_detectors(const Options& options) {
           std::make_shared<core::SteganalysisDetector>()};
 }
 
+// Minimal JSON string escaping for paths and detector names.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
 int cmd_scan(const Options& options) {
   if (options.positional.size() != 1) usage();
   const Image image = read_image(options.positional[0]);
@@ -191,17 +220,64 @@ int cmd_scan(const Options& options) {
     }
     members.push_back({detector, found->second});
   }
-  const core::EnsembleDetector ensemble{members};
-  const std::vector<bool> votes = ensemble.votes(image);
+
+  // Score each detector exactly once, through an obs timer so the latency
+  // lands in the registry (and in the Chrome trace when DECAM_TRACE is on).
+  auto& registry = obs::MetricsRegistry::instance();
+  std::vector<double> scores(members.size());
+  std::vector<double> latencies_ms(members.size());
+  std::vector<std::string> metric_names;
+  double total_ms = 0.0;
   for (std::size_t i = 0; i < members.size(); ++i) {
-    std::printf("%-18s score=%-10.4g threshold=%-10.4g -> %s\n",
-                members[i].detector->name().c_str(),
-                members[i].detector->score(image),
-                members[i].calibration.threshold,
-                votes[i] ? "ATTACK" : "ok");
+    metric_names.push_back("detector/" + members[i].detector->name());
+    obs::ScopedTimer timer(registry.histogram(metric_names.back()),
+                           metric_names.back());
+    scores[i] = members[i].detector->score(image);
+    latencies_ms[i] = timer.stop();
+    total_ms += latencies_ms[i];
   }
-  const bool flagged = ensemble.is_attack(image);
-  std::printf("verdict: %s\n", flagged ? "ATTACK IMAGE" : "benign");
+  const core::EnsembleDetector ensemble{members};
+  const bool flagged = ensemble.vote_scores(scores);
+
+  if (options.json) {
+    std::printf("{\n  \"image\": \"%s\",\n  \"detectors\": [\n",
+                json_escape(options.positional[0]).c_str());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const core::Calibration& calibration = members[i].calibration;
+      const bool vote = core::is_attack(scores[i], calibration);
+      std::printf(
+          "    {\"name\": \"%s\", \"score\": %.17g, \"threshold\": %.17g, "
+          "\"polarity\": \"%s\", \"vote\": \"%s\", \"latency_ms\": %.3f}%s\n",
+          json_escape(members[i].detector->name()).c_str(), scores[i],
+          calibration.threshold,
+          calibration.polarity == core::Polarity::HighIsAttack
+              ? "high_is_attack"
+              : "low_is_attack",
+          vote ? "attack" : "ok", latencies_ms[i],
+          i + 1 < members.size() ? "," : "");
+    }
+    std::printf(
+        "  ],\n  \"verdict\": \"%s\",\n  \"total_latency_ms\": %.3f\n}\n",
+        flagged ? "attack" : "benign", total_ms);
+  } else {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      std::printf("%-18s score=%-10.4g threshold=%-10.4g -> %s\n",
+                  members[i].detector->name().c_str(), scores[i],
+                  members[i].calibration.threshold,
+                  core::is_attack(scores[i], members[i].calibration)
+                      ? "ATTACK"
+                      : "ok");
+    }
+    std::printf("verdict: %s\n", flagged ? "ATTACK IMAGE" : "benign");
+  }
+  if (options.stats) {
+    // With --json, stdout must stay machine-parseable; stats go to stderr.
+    std::fprintf(options.json ? stderr : stdout,
+                 "\nper-detector latency, Table 7 ordering "
+                 "(paper: CSP < MSE < SSIM):\n%s",
+                 obs::latency_table_by_prefix("detector/").render().c_str());
+  }
+  obs::flush_trace();
   return flagged ? 3 : 0;  // shell-friendly: nonzero exit on detection
 }
 

@@ -1,6 +1,7 @@
 #include "core/ensemble.h"
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace decam::core {
 
@@ -13,6 +14,7 @@ EnsembleDetector::EnsembleDetector(std::vector<Member> members)
 }
 
 std::vector<bool> EnsembleDetector::votes(const Image& input) const {
+  DECAM_SPAN("ensemble/votes");
   std::vector<bool> result;
   result.reserve(members_.size());
   for (const Member& member : members_) {
@@ -23,6 +25,7 @@ std::vector<bool> EnsembleDetector::votes(const Image& input) const {
 }
 
 bool EnsembleDetector::is_attack(const Image& input) const {
+  DECAM_SPAN("ensemble/is_attack");
   std::size_t attack_votes = 0;
   for (const Member& member : members_) {
     if (core::is_attack(member.detector->score(input), member.calibration)) {

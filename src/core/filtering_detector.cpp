@@ -2,6 +2,7 @@
 
 #include "metrics/mse.h"
 #include "metrics/ssim.h"
+#include "obs/span.h"
 
 namespace decam::core {
 
@@ -17,6 +18,8 @@ Image FilteringDetector::filtered(const Image& input) const {
 }
 
 double FilteringDetector::score(const Image& input) const {
+  DECAM_SPAN(config_.metric == Metric::MSE ? "detector/filtering/mse"
+                                           : "detector/filtering/ssim");
   const Image f = filtered(input);
   return config_.metric == Metric::MSE ? mse(input, f) : ssim(input, f);
 }

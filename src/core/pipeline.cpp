@@ -12,6 +12,9 @@
 #include "metrics/histogram.h"
 #include "metrics/mse.h"
 #include "metrics/ssim.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace decam::core {
 namespace {
@@ -87,25 +90,47 @@ Battery::Battery(const ExperimentConfig& config)
       pipeline_algo(config.white_box_algo) {}
 
 ScoreRow Battery::score(const Image& input) const {
+  // Stage histograms are resolved once; recording afterwards is lock-free.
+  static auto& registry = obs::MetricsRegistry::instance();
+  static auto& scaling_hist = registry.histogram("battery/scaling");
+  static auto& filtering_hist = registry.histogram("battery/filtering");
+  static auto& steganalysis_hist = registry.histogram("battery/steganalysis");
+  static auto& histogram_hist = registry.histogram("battery/histogram");
+  static auto& images_scored = registry.counter("battery/images_scored");
+
   ScoreRow row;
-  // Scaling method: one round trip feeds MSE, SSIM and the PSNR appendix.
-  const Image round = scale_round_trip(input, target_width, target_height,
-                                       pipeline_algo, pipeline_algo);
-  row.scaling_mse = mse(input, round);
-  row.scaling_ssim = ssim(input, round);
-  row.scaling_psnr = psnr(input, round);
-  // Filtering method: 2x2 minimum filter, per the paper.
-  const Image filtered = min_filter(input, 2);
-  row.filtering_mse = mse(input, filtered);
-  row.filtering_ssim = ssim(input, filtered);
-  row.filtering_psnr = psnr(input, filtered);
-  // Steganalysis method.
-  const SteganalysisDetector steg{SteganalysisDetectorConfig{}};
-  row.csp = steg.score(input);
-  // Histogram baseline (shares the downscale geometry).
-  const Image down = resize(input, target_width, target_height, pipeline_algo);
-  row.histogram = histogram_intersection(color_histogram(input, 32),
-                                         color_histogram(down, 32));
+  {
+    // Scaling method: one round trip feeds MSE, SSIM and the PSNR appendix.
+    obs::ScopedTimer timer(scaling_hist, "battery/scaling");
+    const Image round = scale_round_trip(input, target_width, target_height,
+                                         pipeline_algo, pipeline_algo);
+    row.scaling_mse = mse(input, round);
+    row.scaling_ssim = ssim(input, round);
+    row.scaling_psnr = psnr(input, round);
+  }
+  {
+    // Filtering method: 2x2 minimum filter, per the paper.
+    obs::ScopedTimer timer(filtering_hist, "battery/filtering");
+    const Image filtered = min_filter(input, 2);
+    row.filtering_mse = mse(input, filtered);
+    row.filtering_ssim = ssim(input, filtered);
+    row.filtering_psnr = psnr(input, filtered);
+  }
+  {
+    // Steganalysis method.
+    obs::ScopedTimer timer(steganalysis_hist, "battery/steganalysis");
+    const SteganalysisDetector steg{SteganalysisDetectorConfig{}};
+    row.csp = steg.score(input);
+  }
+  {
+    // Histogram baseline (shares the downscale geometry).
+    obs::ScopedTimer timer(histogram_hist, "battery/histogram");
+    const Image down =
+        resize(input, target_width, target_height, pipeline_algo);
+    row.histogram = histogram_intersection(color_histogram(input, 32),
+                                           color_histogram(down, 32));
+  }
+  images_scored.add();
   return row;
 }
 
@@ -212,11 +237,10 @@ Image localized_target(const Image& scene, const Image& full_target,
   return target;
 }
 
+// Progress lines go through obs::log so every message carries a monotonic
+// elapsed-ms timestamp (ISSUE: replaces the raw fprintf/"\r" spinner).
 void progress(bool verbose, const char* format, auto... args) {
-  if (verbose) {
-    std::fprintf(stderr, format, args...);
-    std::fflush(stderr);
-  }
+  if (verbose) obs::log(format, args...);
 }
 
 }  // namespace
@@ -233,11 +257,18 @@ ExperimentData run_experiment(const ExperimentConfig& config,
     std::snprintf(name, sizeof(name), "experiment_%016" PRIx64 ".tsv",
                   fnv1a(config.cache_key()));
     cache_file = cache_dir / name;
-    if (auto cached = load_experiment(config, cache_file)) {
-      progress(verbose, "[pipeline] loaded cache %s\n",
+    std::optional<ExperimentData> cached;
+    {
+      DECAM_SPAN("pipeline/cache_load");
+      cached = load_experiment(config, cache_file);
+    }
+    if (cached) {
+      obs::MetricsRegistry::instance().counter("pipeline/cache_hits").add();
+      progress(verbose, "[pipeline] loaded cache %s",
                cache_file.string().c_str());
       return *cached;
     }
+    obs::MetricsRegistry::instance().counter("pipeline/cache_misses").add();
   }
 
   ExperimentData data;
@@ -293,9 +324,10 @@ ExperimentData run_experiment(const ExperimentConfig& config,
                 attack::craft_attack(scene, black_target, black_opts);
             black_rows->push_back(battery.score(black.image));
           }
-          progress(verbose, "\r[pipeline] %s %d/%d", label, i + 1, count);
+          if ((i + 1) % 20 == 0 || i + 1 == count) {
+            progress(verbose, "[pipeline] %s %d/%d", label, i + 1, count);
+          }
         }
-        progress(verbose, "\n");
       };
 
   craft_and_score(params_a, 0x57A1Bull, config.n_train, "calibration set",
@@ -305,8 +337,9 @@ ExperimentData run_experiment(const ExperimentConfig& config,
                   &data.eval_attack_black, &data.attack_quality);
 
   if (!cache_file.empty()) {
+    DECAM_SPAN("pipeline/cache_save");
     save_experiment(data, cache_file);
-    progress(verbose, "[pipeline] cached to %s\n",
+    progress(verbose, "[pipeline] cached to %s",
              cache_file.string().c_str());
   }
   return data;

@@ -2,6 +2,7 @@
 
 #include "metrics/mse.h"
 #include "metrics/ssim.h"
+#include "obs/span.h"
 
 namespace decam::core {
 
@@ -28,6 +29,8 @@ Image ScalingDetector::round_trip(const Image& input) const {
 }
 
 double ScalingDetector::score(const Image& input) const {
+  DECAM_SPAN(config_.metric == Metric::MSE ? "detector/scaling/mse"
+                                           : "detector/scaling/ssim");
   DECAM_REQUIRE(input.width() > config_.down_width &&
                     input.height() > config_.down_height,
                 "input must be larger than the CNN geometry");

@@ -5,6 +5,7 @@
 
 #include "cv/connected_components.h"
 #include "cv/threshold.h"
+#include "obs/span.h"
 #include "signal/spectrum.h"
 
 namespace decam::core {
@@ -65,6 +66,7 @@ int SteganalysisDetector::count_csp(const Image& input) const {
 }
 
 double SteganalysisDetector::score(const Image& input) const {
+  DECAM_SPAN("detector/steganalysis/csp");
   return static_cast<double>(count_csp(input));
 }
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/span.h"
+
 namespace decam {
 
 Image rank_filter(const Image& img, int k, RankOp op) {
+  DECAM_SPAN("imaging/rank_filter");
   DECAM_REQUIRE(!img.empty(), "rank_filter of empty image");
   DECAM_REQUIRE(k >= 1, "window size must be >= 1");
   Image out(img.width(), img.height(), img.channels());
@@ -80,12 +83,14 @@ Image separable_convolve(const Image& img, const std::vector<float>& kernel) {
 }  // namespace
 
 Image box_blur(const Image& img, int k) {
+  DECAM_SPAN("imaging/box_blur");
   DECAM_REQUIRE(k >= 1 && k % 2 == 1, "box blur needs odd window size");
   std::vector<float> kernel(static_cast<std::size_t>(k), 1.0f / k);
   return separable_convolve(img, kernel);
 }
 
 Image gaussian_blur(const Image& img, double sigma) {
+  DECAM_SPAN("imaging/gaussian_blur");
   DECAM_REQUIRE(sigma > 0.0, "sigma must be positive");
   const int radius = static_cast<int>(std::ceil(3.0 * sigma));
   std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));

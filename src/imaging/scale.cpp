@@ -2,9 +2,12 @@
 
 #include <vector>
 
+#include "obs/span.h"
+
 namespace decam {
 
 Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
+  DECAM_SPAN("imaging/resize");
   DECAM_REQUIRE(!src.empty(), "resize of empty image");
   DECAM_REQUIRE(out_width > 0 && out_height > 0,
                 "output dimensions must be positive");
@@ -32,6 +35,7 @@ Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
 
 Image scale_round_trip(const Image& src, int down_width, int down_height,
                        ScaleAlgo down, ScaleAlgo up) {
+  DECAM_SPAN("imaging/scale_round_trip");
   const Image small = resize(src, down_width, down_height, down);
   return resize(small, src.width(), src.height(), up);
 }

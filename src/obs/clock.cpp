@@ -1,0 +1,31 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace decam::obs {
+namespace {
+
+std::chrono::steady_clock::time_point anchor() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - anchor())
+      .count();
+}
+
+double elapsed_ms() { return now_us() / 1000.0; }
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace decam::obs

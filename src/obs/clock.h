@@ -1,0 +1,23 @@
+// Monotonic process clock shared by every obs primitive.
+//
+// All timestamps in the observability layer are microseconds since a single
+// per-process anchor (the first call into the clock), so spans recorded on
+// different threads land on one common timeline and the Chrome trace viewer
+// can lay them out without clock translation.
+#pragma once
+
+#include <cstdint>
+
+namespace decam::obs {
+
+/// Microseconds elapsed since the process anchor (monotonic).
+double now_us();
+
+/// Milliseconds elapsed since the process anchor (monotonic).
+double elapsed_ms();
+
+/// Small dense id for the calling thread (main thread observes 1). Stable
+/// for the thread's lifetime; used as the `tid` of trace events.
+std::uint32_t current_tid();
+
+}  // namespace decam::obs

@@ -1,0 +1,32 @@
+#include "obs/log.h"
+
+#include <cstdio>
+
+#include "obs/clock.h"
+
+namespace decam::obs {
+
+std::string log_prefix() {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "[decam +%9.1fms] ", elapsed_ms());
+  return buffer;
+}
+
+void vlog(const char* format, std::va_list args) {
+  char message[1024];
+  std::vsnprintf(message, sizeof(message), format, args);
+  const std::size_t length = std::char_traits<char>::length(message);
+  const bool has_newline = length > 0 && message[length - 1] == '\n';
+  std::fprintf(stderr, "%s%s%s", log_prefix().c_str(), message,
+               has_newline ? "" : "\n");
+  std::fflush(stderr);
+}
+
+void log(const char* format, ...) {
+  std::va_list args;
+  va_start(args, format);
+  vlog(format, args);
+  va_end(args);
+}
+
+}  // namespace decam::obs

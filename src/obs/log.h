@@ -1,0 +1,25 @@
+// Structured progress logging with a monotonic elapsed-ms prefix.
+//
+// Every line looks like
+//
+//   [decam +  1234.5ms] [pipeline] evaluation set 40/60
+//
+// so interleaved stderr from long experiment runs carries its own timeline.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace decam::obs {
+
+/// printf-style line to stderr, prefixed with the elapsed process time and
+/// terminated with a newline (one is appended if the format lacks it).
+void log(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of log().
+void vlog(const char* format, std::va_list args);
+
+/// The "[decam +...ms]" prefix for the current instant (exposed for tests).
+std::string log_prefix();
+
+}  // namespace decam::obs

@@ -1,0 +1,44 @@
+#include "obs/span.h"
+
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace decam::obs {
+
+Span::Span(std::string_view name) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  start_us_ = now_us();
+  active_ = true;
+}
+
+void Span::finish() {
+  if (!active_) return;
+  active_ = false;
+  const double end_us = now_us();
+  TraceBuffer::instance().add(
+      {std::move(name_), start_us_, end_us - start_us_, current_tid()});
+}
+
+ScopedTimer::ScopedTimer(std::string_view metric)
+    : histogram_(&MetricsRegistry::instance().histogram(metric)),
+      span_name_(metric),
+      start_us_(now_us()) {}
+
+ScopedTimer::ScopedTimer(Histogram& histogram, std::string_view span_name)
+    : histogram_(&histogram), span_name_(span_name), start_us_(now_us()) {}
+
+double ScopedTimer::stop() {
+  if (!running_) return elapsed_ms_;
+  running_ = false;
+  const double end_us = now_us();
+  elapsed_ms_ = (end_us - start_us_) / 1000.0;
+  histogram_->record(elapsed_ms_);
+  if (!span_name_.empty() && tracing_enabled()) {
+    TraceBuffer::instance().add(
+        {std::move(span_name_), start_us_, end_us - start_us_, current_tid()});
+  }
+  return elapsed_ms_;
+}
+
+}  // namespace decam::obs

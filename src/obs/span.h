@@ -1,0 +1,78 @@
+// RAII timing primitives.
+//
+//   Span        — trace-only: when tracing is enabled (obs/trace.h) the
+//                 scope becomes a Chrome trace event; when disabled the
+//                 constructor is one relaxed atomic load and a branch.
+//   ScopedTimer — always times its scope into a MetricsRegistry histogram
+//                 (callers ask for stats explicitly), and additionally
+//                 emits a trace event when tracing is on.
+//
+// Instrument library hot paths with the DECAM_SPAN macro so a build with
+// -DDECAM_OBS_DISABLED (CMake -DDECAM_OBS=OFF) compiles the probes out
+// entirely.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace decam::obs {
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Ends the span early (records the trace event once).
+  void finish();
+  bool active() const { return active_; }
+
+ private:
+  std::string name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+class ScopedTimer {
+ public:
+  /// Times into MetricsRegistry histogram `metric` (and a trace event of
+  /// the same name when tracing is enabled).
+  explicit ScopedTimer(std::string_view metric);
+  /// Times into a caller-held histogram; `span_name` empty suppresses the
+  /// trace event.
+  explicit ScopedTimer(Histogram& histogram, std::string_view span_name = {});
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Stops the clock, records, and returns the elapsed milliseconds.
+  /// Subsequent calls return the first result without re-recording.
+  double stop();
+
+ private:
+  Histogram* histogram_;
+  std::string span_name_;
+  double start_us_;
+  double elapsed_ms_ = 0.0;
+  bool running_ = true;
+};
+
+}  // namespace decam::obs
+
+#define DECAM_OBS_CONCAT_INNER(a, b) a##b
+#define DECAM_OBS_CONCAT(a, b) DECAM_OBS_CONCAT_INNER(a, b)
+
+#ifndef DECAM_OBS_DISABLED
+/// Marks the enclosing scope as a trace span (no-op unless DECAM_TRACE).
+#define DECAM_SPAN(name) \
+  ::decam::obs::Span DECAM_OBS_CONCAT(decam_obs_span_, __LINE__)(name)
+/// Times the enclosing scope into the named registry histogram.
+#define DECAM_TIMER(metric) \
+  ::decam::obs::ScopedTimer DECAM_OBS_CONCAT(decam_obs_timer_, __LINE__)(metric)
+#else
+#define DECAM_SPAN(name) ((void)0)
+#define DECAM_TIMER(metric) ((void)0)
+#endif

@@ -7,6 +7,7 @@
 #include <numbers>
 
 #include "imaging/color.h"
+#include "obs/span.h"
 
 namespace decam {
 namespace {
@@ -132,6 +133,7 @@ std::vector<Complex> ifft(const std::vector<Complex>& data) {
 }
 
 void fft2d(std::vector<Complex>& data, int width, int height, bool inverse) {
+  DECAM_SPAN("signal/fft2d");
   DECAM_REQUIRE(width > 0 && height > 0, "fft2d dimensions must be positive");
   DECAM_REQUIRE(data.size() == static_cast<std::size_t>(width) * height,
                 "fft2d buffer size mismatch");
