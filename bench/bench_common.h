@@ -10,6 +10,9 @@
 //   --seed <u64>     dataset seed (default 42)
 //   --quick          miniature run (n=12, small scenes) for smoke tests
 //   --no-cache       recompute instead of using the score cache
+//   --threads <N>    worker-pool size (default: DECAM_THREADS env or
+//                    hardware concurrency); scores are bit-identical at
+//                    any thread count
 #pragma once
 
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include "core/calibration.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
+#include "runtime/thread_pool.h"
 
 namespace decam::bench {
 
@@ -49,9 +53,17 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.config.max_side = 192;
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       args.use_cache = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        std::exit(2);
+      }
+      runtime::set_thread_count(threads);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--n N] [--seed S] [--quick] [--no-cache]\n",
+                   "usage: %s [--n N] [--seed S] [--quick] [--no-cache] "
+                   "[--threads N]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -4,10 +4,14 @@
 // imaging/signal kernels cannot shift the Table 7 numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -60,6 +64,45 @@ void BM_HistogramRecord(benchmark::State& state) {
   benchmark::DoNotOptimize(histogram.count());
 }
 BENCHMARK(BM_HistogramRecord);
+
+// The CAS-loop min/max/sum updates are the histogram's only write path, so
+// contention from the runtime pool is the interesting case: every worker in
+// a parallel battery records into the same "battery/*" histograms.
+void BM_HistogramRecordContended(benchmark::State& state) {
+  static obs::Histogram histogram;  // shared across benchmark threads
+  double ms = 0.1 * static_cast<double>(state.thread_index() + 1);
+  for (auto _ : state) {
+    histogram.record(ms);
+    ms += 0.1;
+    if (ms > 1000.0) ms = 0.0;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecordContended)->Threads(4)->UseRealTime();
+
+// Same contention through the runtime layer itself: a 4-lane parallel_for
+// hammering one histogram, measuring records/s end to end (pool dispatch
+// included).
+void BM_HistogramRecordFromPool(benchmark::State& state) {
+  runtime::ThreadPool pool(4);
+  obs::Histogram histogram;
+  constexpr std::size_t kRecordsPerLane = 4096;
+  for (auto _ : state) {
+    runtime::parallel_for(pool, std::size_t{0}, std::size_t{4},
+                          [&](std::size_t lane) {
+                            double ms = 0.1 * static_cast<double>(lane + 1);
+                            for (std::size_t i = 0; i < kRecordsPerLane; ++i) {
+                              histogram.record(ms);
+                              ms += 0.1;
+                              if (ms > 1000.0) ms = 0.0;
+                            }
+                          });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          kRecordsPerLane);
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecordFromPool);
 
 void BM_RegistryLookup(benchmark::State& state) {
   for (auto _ : state) {

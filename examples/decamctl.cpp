@@ -4,11 +4,16 @@
 //
 //   decamctl craft  <source> <target> <out>  [--algo A] [--eps E]
 //       Hide <target> inside <source> (the image-scaling attack).
-//   decamctl scan   <image> [--width W --height H] [--algo A]
-//                   [--profile FILE] [--stats] [--json]
-//       Run all three detectors + majority vote on one image. --stats adds
-//       a per-detector latency table (Table 7 ordering); --json prints a
-//       machine-readable report (scores, thresholds, verdict, latency-ms).
+//   decamctl scan   <image|dir>... [--width W --height H] [--algo A]
+//                   [--profile FILE] [--stats] [--json] [--threads N]
+//       Run all three detectors + majority vote. Accepts several images
+//       and/or directories (directories expand to their .ppm/.pgm/.bmp
+//       files, sorted); multiple inputs are scored through the thread pool
+//       and reported one line per file in input order. --stats adds a
+//       per-detector latency table (Table 7 ordering); --json prints a
+//       machine-readable report (scores, thresholds, verdict, latency-ms)
+//       — an object for one input, an array for several. Exit code: 1 if
+//       any file failed to load, else 3 if any file was flagged, else 0.
 //   decamctl calibrate <benign images...> --out FILE
 //                   [--percentile P] [--width W --height H] [--algo A]
 //       Build a black-box calibration profile from benign samples.
@@ -18,8 +23,10 @@
 //       Write the centered log-magnitude spectrum (steganalysis view).
 //
 // Images are read by extension: .ppm/.pgm via PNM, .bmp via BMP.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +42,7 @@
 #include "obs/report.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "runtime/parallel.h"
 #include "signal/spectrum.h"
 
 using namespace decam;
@@ -46,14 +54,19 @@ namespace {
       stderr,
       "usage: decamctl <craft|scan|calibrate|downscale|spectrum> ...\n"
       "  craft <source> <target> <out> [--algo A] [--eps E]\n"
-      "  scan <image> [--width W] [--height H] [--algo A] [--profile F]\n"
-      "       [--stats] [--json]\n"
+      "  scan <image|dir>... [--width W] [--height H] [--algo A]\n"
+      "       [--profile F] [--stats] [--json] [--threads N]\n"
+      "       directories expand to their .ppm/.pgm/.bmp files (sorted);\n"
+      "       several inputs are scanned in parallel, one line per file\n"
+      "       in input order; exit 1 = load failure, 3 = attack found\n"
       "  calibrate <benign...> --out F [--percentile P] [--margin M]\n"
       "            [--width W]\n"
-      "            [--height H] [--algo A]\n"
+      "            [--height H] [--algo A] [--threads N]\n"
       "  downscale <image> <out> [--width W] [--height H] [--algo A]\n"
       "  spectrum <image> <out>\n"
-      "  algos: nearest bilinear bicubic area lanczos4\n");
+      "  algos: nearest bilinear bicubic area lanczos4\n"
+      "  --threads N sizes the worker pool (default: DECAM_THREADS env or\n"
+      "  hardware concurrency)\n");
   std::exit(2);
 }
 
@@ -94,6 +107,7 @@ struct Options {
   double margin = 1.0;  // safety factor widening small-sample thresholds
   std::string profile;
   std::string out;
+  int threads = 0;  // 0 = DECAM_THREADS env / hardware default
   bool stats = false;
   bool json = false;
 };
@@ -122,6 +136,9 @@ Options parse(int argc, char** argv, int first) {
       options.profile = next();
     } else if (arg == "--out") {
       options.out = next();
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next().c_str());
+      if (options.threads < 1) usage();
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (arg == "--json") {
@@ -188,9 +205,110 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+// Directories expand to their image files (sorted for stable ordering);
+// plain paths pass through, preserving command-line order.
+std::vector<std::string> expand_scan_inputs(
+    const std::vector<std::string>& positional) {
+  std::vector<std::string> files;
+  for (const std::string& path : positional) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> dir_files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".ppm" || ext == ".pgm" || ext == ".bmp") {
+          dir_files.push_back(entry.path().string());
+        }
+      }
+      std::sort(dir_files.begin(), dir_files.end());
+      files.insert(files.end(), dir_files.begin(), dir_files.end());
+    } else {
+      files.push_back(path);
+    }
+  }
+  return files;
+}
+
+// Everything scan learns about one file; computed on any pool lane,
+// reported on the main thread in input order.
+struct ScanOutcome {
+  std::string path;
+  std::string error;  // non-empty = the file could not be scanned
+  std::vector<double> scores;
+  std::vector<double> latencies_ms;
+  double total_ms = 0.0;
+  bool flagged = false;
+};
+
+ScanOutcome scan_one(const std::string& path,
+                     const std::vector<core::EnsembleDetector::Member>& members,
+                     const core::EnsembleDetector& ensemble) {
+  ScanOutcome outcome;
+  outcome.path = path;
+  try {
+    const Image image = read_image(path);
+    // Score each detector independently (no shared context) so the
+    // recorded latencies keep the paper's Table 7 per-method semantics.
+    auto& registry = obs::MetricsRegistry::instance();
+    outcome.scores.resize(members.size());
+    outcome.latencies_ms.resize(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::string metric_name =
+          "detector/" + members[i].detector->name();
+      obs::ScopedTimer timer(registry.histogram(metric_name), metric_name);
+      outcome.scores[i] = members[i].detector->score(image);
+      outcome.latencies_ms[i] = timer.stop();
+      outcome.total_ms += outcome.latencies_ms[i];
+    }
+    outcome.flagged = ensemble.vote_scores(outcome.scores);
+  } catch (const std::exception& error) {
+    outcome.error = error.what();
+  }
+  return outcome;
+}
+
+// One scan report as a JSON object; `pad` indents every line so the same
+// shape serves both the single-image object and array entries.
+void print_scan_json(const ScanOutcome& outcome,
+                     const std::vector<core::EnsembleDetector::Member>& members,
+                     const char* pad) {
+  if (!outcome.error.empty()) {
+    std::printf("%s{\n%s  \"image\": \"%s\",\n%s  \"error\": \"%s\"\n%s}",
+                pad, pad, json_escape(outcome.path).c_str(), pad,
+                json_escape(outcome.error).c_str(), pad);
+    return;
+  }
+  std::printf("%s{\n%s  \"image\": \"%s\",\n%s  \"detectors\": [\n", pad, pad,
+              json_escape(outcome.path).c_str(), pad);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const core::Calibration& calibration = members[i].calibration;
+    const bool vote = core::is_attack(outcome.scores[i], calibration);
+    std::printf(
+        "%s    {\"name\": \"%s\", \"score\": %.17g, \"threshold\": %.17g, "
+        "\"polarity\": \"%s\", \"vote\": \"%s\", \"latency_ms\": %.3f}%s\n",
+        pad, json_escape(members[i].detector->name()).c_str(),
+        outcome.scores[i], calibration.threshold,
+        calibration.polarity == core::Polarity::HighIsAttack
+            ? "high_is_attack"
+            : "low_is_attack",
+        vote ? "attack" : "ok", outcome.latencies_ms[i],
+        i + 1 < members.size() ? "," : "");
+  }
+  std::printf(
+      "%s  ],\n%s  \"verdict\": \"%s\",\n%s  \"total_latency_ms\": %.3f\n%s}",
+      pad, pad, outcome.flagged ? "attack" : "benign", pad, outcome.total_ms,
+      pad);
+}
+
 int cmd_scan(const Options& options) {
-  if (options.positional.size() != 1) usage();
-  const Image image = read_image(options.positional[0]);
+  if (options.positional.empty()) usage();
+  const std::vector<std::string> files =
+      expand_scan_inputs(options.positional);
+  if (files.empty()) {
+    std::fprintf(stderr, "scan: no image files found\n");
+    return 1;
+  }
   const Detectors detectors = make_detectors(options);
 
   core::CalibrationProfile profile;
@@ -221,54 +339,67 @@ int cmd_scan(const Options& options) {
     members.push_back({detector, found->second});
   }
 
-  // Score each detector exactly once, through an obs timer so the latency
-  // lands in the registry (and in the Chrome trace when DECAM_TRACE is on).
-  auto& registry = obs::MetricsRegistry::instance();
-  std::vector<double> scores(members.size());
-  std::vector<double> latencies_ms(members.size());
-  std::vector<std::string> metric_names;
-  double total_ms = 0.0;
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    metric_names.push_back("detector/" + members[i].detector->name());
-    obs::ScopedTimer timer(registry.histogram(metric_names.back()),
-                           metric_names.back());
-    scores[i] = members[i].detector->score(image);
-    latencies_ms[i] = timer.stop();
-    total_ms += latencies_ms[i];
-  }
   const core::EnsembleDetector ensemble{members};
-  const bool flagged = ensemble.vote_scores(scores);
+
+  // Fan the files out over the pool; parallel_map keeps input order.
+  const std::vector<ScanOutcome> outcomes = runtime::parallel_map(
+      files,
+      [&](const std::string& path) { return scan_one(path, members, ensemble); });
+
+  bool any_error = false;
+  bool any_flagged = false;
+  for (const ScanOutcome& outcome : outcomes) {
+    any_error = any_error || !outcome.error.empty();
+    any_flagged = any_flagged || outcome.flagged;
+  }
+
+  if (outcomes.size() == 1 && !outcomes[0].error.empty()) {
+    // Single-file failure keeps the historical diagnostic on stderr.
+    std::fprintf(stderr, "decamctl: %s\n", outcomes[0].error.c_str());
+    return 1;
+  }
 
   if (options.json) {
-    std::printf("{\n  \"image\": \"%s\",\n  \"detectors\": [\n",
-                json_escape(options.positional[0]).c_str());
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      const core::Calibration& calibration = members[i].calibration;
-      const bool vote = core::is_attack(scores[i], calibration);
-      std::printf(
-          "    {\"name\": \"%s\", \"score\": %.17g, \"threshold\": %.17g, "
-          "\"polarity\": \"%s\", \"vote\": \"%s\", \"latency_ms\": %.3f}%s\n",
-          json_escape(members[i].detector->name()).c_str(), scores[i],
-          calibration.threshold,
-          calibration.polarity == core::Polarity::HighIsAttack
-              ? "high_is_attack"
-              : "low_is_attack",
-          vote ? "attack" : "ok", latencies_ms[i],
-          i + 1 < members.size() ? "," : "");
+    if (outcomes.size() == 1) {
+      print_scan_json(outcomes[0], members, "");
+      std::printf("\n");
+    } else {
+      std::printf("[\n");
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        print_scan_json(outcomes[i], members, "  ");
+        std::printf("%s\n", i + 1 < outcomes.size() ? "," : "");
+      }
+      std::printf("]\n");
     }
-    std::printf(
-        "  ],\n  \"verdict\": \"%s\",\n  \"total_latency_ms\": %.3f\n}\n",
-        flagged ? "attack" : "benign", total_ms);
-  } else {
+  } else if (outcomes.size() == 1) {
+    const ScanOutcome& outcome = outcomes[0];
     for (std::size_t i = 0; i < members.size(); ++i) {
       std::printf("%-18s score=%-10.4g threshold=%-10.4g -> %s\n",
-                  members[i].detector->name().c_str(), scores[i],
+                  members[i].detector->name().c_str(), outcome.scores[i],
                   members[i].calibration.threshold,
-                  core::is_attack(scores[i], members[i].calibration)
+                  core::is_attack(outcome.scores[i], members[i].calibration)
                       ? "ATTACK"
                       : "ok");
     }
-    std::printf("verdict: %s\n", flagged ? "ATTACK IMAGE" : "benign");
+    std::printf("verdict: %s\n", outcome.flagged ? "ATTACK IMAGE" : "benign");
+  } else {
+    // One line per file, input order, votes inline.
+    for (const ScanOutcome& outcome : outcomes) {
+      if (!outcome.error.empty()) {
+        std::printf("%s\tERROR\t%s\n", outcome.path.c_str(),
+                    outcome.error.c_str());
+        continue;
+      }
+      std::printf("%s\t%s", outcome.path.c_str(),
+                  outcome.flagged ? "ATTACK" : "benign");
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        std::printf("\t%s=%s", members[i].detector->name().c_str(),
+                    core::is_attack(outcome.scores[i], members[i].calibration)
+                        ? "ATTACK"
+                        : "ok");
+      }
+      std::printf("\n");
+    }
   }
   if (options.stats) {
     // With --json, stdout must stay machine-parseable; stats go to stderr.
@@ -278,18 +409,29 @@ int cmd_scan(const Options& options) {
                  obs::latency_table_by_prefix("detector/").render().c_str());
   }
   obs::flush_trace();
-  return flagged ? 3 : 0;  // shell-friendly: nonzero exit on detection
+  // Shell-friendly: load failures dominate, then detections.
+  if (any_error) return 1;
+  return any_flagged ? 3 : 0;
 }
 
 int cmd_calibrate(const Options& options) {
   if (options.positional.empty() || options.out.empty()) usage();
   const Detectors detectors = make_detectors(options);
+  struct BenignScores {
+    double scaling = 0.0;
+    double filtering = 0.0;
+  };
+  const std::vector<BenignScores> scored = runtime::parallel_map(
+      options.positional, [&](const std::string& path) {
+        const Image benign = read_image(path);
+        return BenignScores{detectors.scaling->score(benign),
+                            detectors.filtering->score(benign)};
+      });
   std::vector<double> scaling_scores, filtering_scores;
-  for (const std::string& path : options.positional) {
-    const Image benign = read_image(path);
-    scaling_scores.push_back(detectors.scaling->score(benign));
-    filtering_scores.push_back(detectors.filtering->score(benign));
-    std::fprintf(stderr, "scored %s\n", path.c_str());
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    scaling_scores.push_back(scored[i].scaling);
+    filtering_scores.push_back(scored[i].filtering);
+    std::fprintf(stderr, "scored %s\n", options.positional[i].c_str());
   }
   core::CalibrationProfile profile;
   profile[detectors.scaling->name()] = core::calibrate_black_box(
@@ -343,6 +485,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   const Options options = parse(argc, argv, 2);
+  if (options.threads > 0) runtime::set_thread_count(options.threads);
   try {
     if (command == "craft") return cmd_craft(options);
     if (command == "scan") return cmd_scan(options);

@@ -53,6 +53,45 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "decamctl scan rejected a benign-like image: ${rc}")
 endif()
 
+# Multi-input scan: attack + benign together must still exit 3 (an attack
+# anywhere in the batch dominates), with one report line per file.
+execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/attack.ppm
+                        ${WORK_DIR}/quickstart_out/attack_roundtrip.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib --threads 2
+                OUTPUT_VARIABLE multi_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "multi-input scan should flag the attack, got: ${rc}")
+endif()
+string(REGEX MATCHALL "\n" multi_lines "${multi_out}")
+list(LENGTH multi_lines multi_line_count)
+if(NOT multi_line_count EQUAL 2)
+  message(FATAL_ERROR
+          "multi-input scan should print one line per file: ${multi_out}")
+endif()
+
+# A missing file in the batch is a load failure: exit 1 beats detection.
+execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/attack.ppm
+                        ${WORK_DIR}/no_such_image.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "scan with a missing file should exit 1, got: ${rc}")
+endif()
+
+# A directory input expands to its image files (quickstart_out holds the
+# benign scene, target, and round-trip PPMs plus the crafted attack copy).
+# The 28x28 geometry keeps even the 112x112 artifacts scannable (the
+# scaling detector requires inputs larger than the CNN geometry).
+execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/quickstart_out
+                        --width 28 --height 28
+                        --profile ${WORK_DIR}/profile.calib --json
+                RESULT_VARIABLE rc)
+if(rc EQUAL 1 OR rc EQUAL 2)
+  message(FATAL_ERROR "directory scan failed: ${rc}")
+endif()
+
 # 5. Spectrum + downscale commands produce output files.
 execute_process(COMMAND ${DECAMCTL} spectrum ${WORK_DIR}/attack.ppm
                         ${WORK_DIR}/spec.pgm RESULT_VARIABLE rc)

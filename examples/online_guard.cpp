@@ -28,6 +28,7 @@
 #include "obs/report.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "runtime/parallel.h"
 
 using namespace decam;
 
@@ -43,8 +44,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
   std::printf(
-      "online guard: stream of %d requests, ~%d%% attacks (seed %llu)\n\n",
-      stream_length, attack_rate, static_cast<unsigned long long>(seed));
+      "online guard: stream of %d requests, ~%d%% attacks (seed %llu, "
+      "%d-thread pool)\n\n",
+      stream_length, attack_rate, static_cast<unsigned long long>(seed),
+      runtime::thread_count());
 
   data::SceneParams params = data::scene_params(data::Regime::B);
   params.min_side = 256;
@@ -109,12 +112,16 @@ int main(int argc, char** argv) {
     }
     double elapsed = 0.0;
     {
+      // The three methods run concurrently on the pool; each keeps its own
+      // timer so the per-method stream percentiles (Table 7) still measure
+      // the full independent cost of that method.
       obs::ScopedTimer request_timer(request_histogram, "guard/request");
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        obs::ScopedTimer method_timer(*method_histograms[m],
-                                      method_metrics[m]);
-        scores[m] = members[m].detector->score(request);
-      }
+      runtime::parallel_for(std::size_t{0}, members.size(),
+                            [&](std::size_t m) {
+                              obs::ScopedTimer method_timer(
+                                  *method_histograms[m], method_metrics[m]);
+                              scores[m] = members[m].detector->score(request);
+                            });
       elapsed = request_timer.stop();
     }
     const bool flagged = guard.vote_scores(scores);
@@ -134,7 +141,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nserved %d, rejected %d | missed attacks: %d, false alarms: %d\n"
       "guard latency: avg %.0f ms, worst %.0f ms per request "
-      "(single core, all three methods)\n\n",
+      "(all three methods, pooled)\n\n",
       served, rejected, missed, false_alarms,
       request_histogram.sum_ms() /
           std::max<std::uint64_t>(request_histogram.count(), 1),

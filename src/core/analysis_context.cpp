@@ -1,0 +1,76 @@
+#include "core/analysis_context.h"
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "signal/spectrum.h"
+
+namespace decam::core {
+
+AnalysisContext::AnalysisContext(const Image& input,
+                                 const AnalysisContextSpec& spec)
+    : input_(&input), spec_(spec) {
+  DECAM_REQUIRE(!input.empty(), "analysis context of empty image");
+  static auto& registry = obs::MetricsRegistry::instance();
+  static auto& round_trip_hist = registry.histogram("context/round_trip");
+  static auto& filter_hist = registry.histogram("context/filter");
+  static auto& spectrum_hist = registry.histogram("context/spectrum");
+
+  if (spec.down_width > 0 && spec.down_height > 0) {
+    // One downscale serves both the pipeline view (histogram baseline) and
+    // the round trip — resize(resize(I)) is exactly scale_round_trip.
+    obs::ScopedTimer timer(round_trip_hist, "context/round_trip");
+    RoundTripImages images =
+        scale_round_trip_full(input, spec.down_width, spec.down_height,
+                              spec.down_algo, spec.up_algo);
+    downscaled_ = std::move(images.down);
+    round_trip_ = std::move(images.up);
+  }
+  if (spec.filter_window > 0) {
+    obs::ScopedTimer timer(filter_hist, "context/filter");
+    filtered_ = rank_filter(input, spec.filter_window, spec.filter_op);
+  }
+  if (spec.spectrum) {
+    obs::ScopedTimer timer(spectrum_hist, "context/spectrum");
+    spectrum_ = centered_log_spectrum(input);
+  }
+}
+
+const Image& AnalysisContext::downscaled() const {
+  DECAM_REQUIRE(has_downscaled(), "context built without a downscale");
+  return *downscaled_;
+}
+
+const Image& AnalysisContext::round_trip() const {
+  DECAM_REQUIRE(has_round_trip(), "context built without a round trip");
+  return *round_trip_;
+}
+
+const Image& AnalysisContext::filtered() const {
+  DECAM_REQUIRE(has_filtered(), "context built without a filtered image");
+  return *filtered_;
+}
+
+const Image& AnalysisContext::spectrum() const {
+  DECAM_REQUIRE(has_spectrum(), "context built without a spectrum");
+  return *spectrum_;
+}
+
+bool AnalysisContext::round_trip_matches(int down_width, int down_height,
+                                         ScaleAlgo down, ScaleAlgo up) const {
+  return has_round_trip() && spec_.down_width == down_width &&
+         spec_.down_height == down_height && spec_.down_algo == down &&
+         spec_.up_algo == up;
+}
+
+bool AnalysisContext::downscale_matches(int down_width, int down_height,
+                                        ScaleAlgo algo) const {
+  return has_downscaled() && spec_.down_width == down_width &&
+         spec_.down_height == down_height && spec_.down_algo == algo;
+}
+
+bool AnalysisContext::filter_matches(int window, RankOp op) const {
+  return has_filtered() && spec_.filter_window == window &&
+         spec_.filter_op == op;
+}
+
+}  // namespace decam::core

@@ -1,0 +1,90 @@
+// AnalysisContext — the expensive per-image intermediates every detection
+// method reads, computed once and shared (DESIGN.md §8).
+//
+// Battery::score used to rebuild the round trip / filtered image / spectrum
+// inside each stage, and EnsembleDetector re-ran the full image pipeline per
+// member. The context makes that sharing explicit: a caller builds one
+// context per input image (eagerly, on its own thread — no hidden caches,
+// nothing lazily mutated under const), then any number of detectors and
+// metrics score against it.
+//
+// Ownership: the context borrows `input` (non-owning pointer) and owns every
+// derived image. Keep the input alive for the context's lifetime; contexts
+// are scoped to scoring one image and are cheap to move, never copied
+// implicitly (Image is value-semantic, so copying would duplicate planes).
+//
+// Config matching: intermediates are only valid for the spec they were built
+// with. Detectors check *_matches() and fall back to recomputing from
+// input() when a shared context was built for a different geometry/scaler/
+// filter — correctness never depends on the spec lining up.
+#pragma once
+
+#include <optional>
+
+#include "imaging/filter.h"
+#include "imaging/image.h"
+#include "imaging/scale.h"
+
+namespace decam::core {
+
+/// What to precompute. Defaults request nothing; detectors extend a spec via
+/// Detector::prime() and the Battery derives one from its ExperimentConfig.
+struct AnalysisContextSpec {
+  int down_width = 0;   // > 0 enables the downscale + round trip
+  int down_height = 0;
+  ScaleAlgo down_algo = ScaleAlgo::Bilinear;  // victim pipeline's scaler
+  ScaleAlgo up_algo = ScaleAlgo::Bilinear;    // reconstruction scaler
+  int filter_window = 0;  // > 0 enables the rank-filtered image
+  RankOp filter_op = RankOp::Min;
+  bool spectrum = false;  // centered log-magnitude spectrum (steganalysis)
+};
+
+class AnalysisContext {
+ public:
+  /// Eagerly builds every intermediate `spec` requests, on the calling
+  /// thread. Build cost is recorded into the `context/*` registry
+  /// histograms.
+  AnalysisContext(const Image& input, const AnalysisContextSpec& spec);
+
+  AnalysisContext(AnalysisContext&&) = default;
+  AnalysisContext& operator=(AnalysisContext&&) = delete;
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  const Image& input() const { return *input_; }
+  const AnalysisContextSpec& spec() const { return spec_; }
+
+  bool has_downscaled() const { return downscaled_.has_value(); }
+  bool has_round_trip() const { return round_trip_.has_value(); }
+  bool has_filtered() const { return filtered_.has_value(); }
+  bool has_spectrum() const { return spectrum_.has_value(); }
+
+  /// The pipeline's view: input resized to (down_width, down_height).
+  const Image& downscaled() const;
+  /// Downscale-then-upscale reconstruction at the input geometry.
+  const Image& round_trip() const;
+  /// Rank-filtered input (filter_window, filter_op).
+  const Image& filtered() const;
+  /// Centered log-magnitude spectrum of the input.
+  const Image& spectrum() const;
+
+  /// True when round_trip() exists and was built with exactly this
+  /// geometry + scaler pair.
+  bool round_trip_matches(int down_width, int down_height, ScaleAlgo down,
+                          ScaleAlgo up) const;
+  /// True when downscaled() exists for exactly this geometry + scaler.
+  bool downscale_matches(int down_width, int down_height,
+                         ScaleAlgo algo) const;
+  /// True when filtered() exists for exactly this window + op.
+  bool filter_matches(int window, RankOp op) const;
+
+ private:
+  const Image* input_;
+  AnalysisContextSpec spec_;
+  std::optional<Image> downscaled_;
+  std::optional<Image> round_trip_;
+  std::optional<Image> filtered_;
+  std::optional<Image> spectrum_;
+};
+
+}  // namespace decam::core

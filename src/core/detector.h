@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "core/analysis_context.h"
 #include "imaging/image.h"
 
 namespace decam::core {
@@ -29,6 +30,18 @@ class Detector {
   /// lower-is-attack depends on the method+metric; Calibration carries the
   /// polarity.
   virtual double score(const Image& input) const = 0;
+
+  /// Scores through a prebuilt AnalysisContext. Detectors override this to
+  /// reuse matching intermediates; the default recomputes from the input,
+  /// so a context built for a different configuration is never wrong, only
+  /// slower.
+  virtual double score(const AnalysisContext& context) const {
+    return score(context.input());
+  }
+
+  /// Extends `spec` with the intermediates this detector can reuse, so one
+  /// context serves a whole ensemble (EnsembleDetector::context_spec()).
+  virtual void prime(AnalysisContextSpec& spec) const { (void)spec; }
 
   /// Human-readable method name ("scaling/mse", ...).
   virtual std::string name() const = 0;

@@ -13,22 +13,40 @@ EnsembleDetector::EnsembleDetector(std::vector<Member> members)
   }
 }
 
+AnalysisContextSpec EnsembleDetector::context_spec() const {
+  AnalysisContextSpec spec;
+  for (const Member& member : members_) {
+    member.detector->prime(spec);
+  }
+  return spec;
+}
+
 std::vector<bool> EnsembleDetector::votes(const Image& input) const {
+  const AnalysisContext context(input, context_spec());
+  return votes(context);
+}
+
+std::vector<bool> EnsembleDetector::votes(const AnalysisContext& context) const {
   DECAM_SPAN("ensemble/votes");
   std::vector<bool> result;
   result.reserve(members_.size());
   for (const Member& member : members_) {
     result.push_back(
-        core::is_attack(member.detector->score(input), member.calibration));
+        core::is_attack(member.detector->score(context), member.calibration));
   }
   return result;
 }
 
 bool EnsembleDetector::is_attack(const Image& input) const {
+  const AnalysisContext context(input, context_spec());
+  return is_attack(context);
+}
+
+bool EnsembleDetector::is_attack(const AnalysisContext& context) const {
   DECAM_SPAN("ensemble/is_attack");
   std::size_t attack_votes = 0;
   for (const Member& member : members_) {
-    if (core::is_attack(member.detector->score(input), member.calibration)) {
+    if (core::is_attack(member.detector->score(context), member.calibration)) {
       ++attack_votes;
     }
   }

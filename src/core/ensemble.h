@@ -25,9 +25,16 @@ class EnsembleDetector {
 
   /// True when a strict majority of members flags the image.
   bool is_attack(const Image& input) const;
+  bool is_attack(const AnalysisContext& context) const;
 
   /// Individual member votes (for diagnostics and the examples).
   std::vector<bool> votes(const Image& input) const;
+  std::vector<bool> votes(const AnalysisContext& context) const;
+
+  /// The union of intermediates the members can reuse: each member primes
+  /// the spec in turn, so one AnalysisContext built from the result serves
+  /// every member (mismatched members silently recompute).
+  AnalysisContextSpec context_spec() const;
 
   /// Majority decision from precomputed member scores, in member order.
   /// Lets the benches reuse cached scores instead of re-running detectors.

@@ -24,6 +24,22 @@ double FilteringDetector::score(const Image& input) const {
   return config_.metric == Metric::MSE ? mse(input, f) : ssim(input, f);
 }
 
+double FilteringDetector::score(const AnalysisContext& context) const {
+  if (!context.filter_matches(config_.window, config_.op)) {
+    return score(context.input());
+  }
+  DECAM_SPAN(config_.metric == Metric::MSE ? "detector/filtering/mse"
+                                           : "detector/filtering/ssim");
+  const Image& input = context.input();
+  return config_.metric == Metric::MSE ? mse(input, context.filtered())
+                                       : ssim(input, context.filtered());
+}
+
+void FilteringDetector::prime(AnalysisContextSpec& spec) const {
+  spec.filter_window = config_.window;
+  spec.filter_op = config_.op;
+}
+
 std::string FilteringDetector::name() const {
   const char* op = config_.op == RankOp::Min
                        ? "min"

@@ -22,6 +22,9 @@ class FilteringDetector final : public Detector {
   explicit FilteringDetector(FilteringDetectorConfig config);
 
   double score(const Image& input) const override;
+  /// Reuses the context's filtered image when window+op match.
+  double score(const AnalysisContext& context) const override;
+  void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 
   /// The filtered image F (exposed for examples/visualisation).

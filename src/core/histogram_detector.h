@@ -23,6 +23,9 @@ class HistogramDetector final : public Detector {
 
   /// Histogram-intersection similarity between input and downscaled input.
   double score(const Image& input) const override;
+  /// Reuses the context's downscaled image when geometry+algo match.
+  double score(const AnalysisContext& context) const override;
+  void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 
  private:

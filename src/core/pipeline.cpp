@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "runtime/parallel.h"
 
 namespace decam::core {
 namespace {
@@ -89,8 +91,27 @@ Battery::Battery(const ExperimentConfig& config)
       target_height(config.target_height),
       pipeline_algo(config.white_box_algo) {}
 
+AnalysisContextSpec Battery::context_spec() const {
+  AnalysisContextSpec spec;
+  spec.down_width = target_width;
+  spec.down_height = target_height;
+  spec.down_algo = pipeline_algo;
+  spec.up_algo = pipeline_algo;
+  spec.filter_window = 2;  // paper's 2x2 minimum filter
+  spec.filter_op = RankOp::Min;
+  spec.spectrum = true;
+  return spec;
+}
+
 ScoreRow Battery::score(const Image& input) const {
+  const AnalysisContext context(input, context_spec());
+  return score(context);
+}
+
+ScoreRow Battery::score(const AnalysisContext& context) const {
   // Stage histograms are resolved once; recording afterwards is lock-free.
+  // They time the metric reductions only — intermediate construction is
+  // timed by the context/* histograms at build time.
   static auto& registry = obs::MetricsRegistry::instance();
   static auto& scaling_hist = registry.histogram("battery/scaling");
   static auto& filtering_hist = registry.histogram("battery/filtering");
@@ -98,12 +119,19 @@ ScoreRow Battery::score(const Image& input) const {
   static auto& histogram_hist = registry.histogram("battery/histogram");
   static auto& images_scored = registry.counter("battery/images_scored");
 
+  const Image& input = context.input();
   ScoreRow row;
   {
     // Scaling method: one round trip feeds MSE, SSIM and the PSNR appendix.
     obs::ScopedTimer timer(scaling_hist, "battery/scaling");
-    const Image round = scale_round_trip(input, target_width, target_height,
-                                         pipeline_algo, pipeline_algo);
+    std::optional<Image> local;
+    const Image& round =
+        context.round_trip_matches(target_width, target_height, pipeline_algo,
+                                   pipeline_algo)
+            ? context.round_trip()
+            : local.emplace(scale_round_trip(input, target_width,
+                                             target_height, pipeline_algo,
+                                             pipeline_algo));
     row.scaling_mse = mse(input, round);
     row.scaling_ssim = ssim(input, round);
     row.scaling_psnr = psnr(input, round);
@@ -111,22 +139,31 @@ ScoreRow Battery::score(const Image& input) const {
   {
     // Filtering method: 2x2 minimum filter, per the paper.
     obs::ScopedTimer timer(filtering_hist, "battery/filtering");
-    const Image filtered = min_filter(input, 2);
+    std::optional<Image> local;
+    const Image& filtered = context.filter_matches(2, RankOp::Min)
+                                ? context.filtered()
+                                : local.emplace(min_filter(input, 2));
     row.filtering_mse = mse(input, filtered);
     row.filtering_ssim = ssim(input, filtered);
     row.filtering_psnr = psnr(input, filtered);
   }
   {
-    // Steganalysis method.
+    // Steganalysis method (consumes the context's spectrum when present).
     obs::ScopedTimer timer(steganalysis_hist, "battery/steganalysis");
     const SteganalysisDetector steg{SteganalysisDetectorConfig{}};
-    row.csp = steg.score(input);
+    row.csp = context.has_spectrum()
+                  ? static_cast<double>(steg.count_csp_in(context.spectrum()))
+                  : steg.score(input);
   }
   {
     // Histogram baseline (shares the downscale geometry).
     obs::ScopedTimer timer(histogram_hist, "battery/histogram");
-    const Image down =
-        resize(input, target_width, target_height, pipeline_algo);
+    std::optional<Image> local;
+    const Image& down =
+        context.downscale_matches(target_width, target_height, pipeline_algo)
+            ? context.downscaled()
+            : local.emplace(
+                  resize(input, target_width, target_height, pipeline_algo));
     row.histogram = histogram_intersection(color_histogram(input, 32),
                                            color_histogram(down, 32));
   }
@@ -289,28 +326,45 @@ ExperimentData run_experiment(const ExperimentConfig& config,
           int count, const char* label, std::vector<ScoreRow>& benign_rows,
           std::vector<ScoreRow>* white_rows, std::vector<ScoreRow>* black_rows,
           std::vector<AttackQualityRow>* quality_rows) {
+        // Determinism contract (DESIGN.md §8): Rng::fork() is
+        // Rng(next_u64()), so drawing the per-index seeds serially up front
+        // and re-seeding inside the parallel body reproduces the serial
+        // fork sequence exactly. Results land in index-ordered slots, so
+        // the row vectors — and the cache TSV written from them — are
+        // byte-identical at any thread count.
         data::Rng scene_rng(config.seed ^ seed_salt);
         data::Rng target_rng(config.seed ^ seed_salt ^ 0x7A26E7ull);
-        for (int i = 0; i < count; ++i) {
-          data::Rng scene_child = scene_rng.fork();
-          data::Rng target_child = target_rng.fork();
+        const auto n = static_cast<std::size_t>(count);
+        std::vector<std::uint64_t> scene_seeds(n);
+        std::vector<std::uint64_t> target_seeds(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          scene_seeds[i] = scene_rng.next_u64();
+          target_seeds[i] = target_rng.next_u64();
+        }
+        benign_rows.resize(n);
+        if (white_rows != nullptr) white_rows->resize(n);
+        if (black_rows != nullptr) black_rows->resize(n);
+        if (quality_rows != nullptr) quality_rows->resize(n);
+        std::atomic<int> completed{0};
+        runtime::parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+          data::Rng scene_child(scene_seeds[i]);
+          data::Rng target_child(target_seeds[i]);
           const Image scene = generate_scene(scene_params, scene_child);
           const Image target = data::generate_target(
               config.target_width, config.target_height, target_child);
-          benign_rows.push_back(battery.score(scene));
+          benign_rows[i] = battery.score(scene);
           if (white_rows != nullptr) {
             const attack::AttackResult white =
                 attack::craft_attack(scene, target, white_opts);
-            white_rows->push_back(battery.score(white.image));
+            (*white_rows)[i] = battery.score(white.image);
             if (quality_rows != nullptr) {
-              quality_rows->push_back({white.report.downscale_linf,
-                                       white.report.source_ssim});
+              (*quality_rows)[i] = {white.report.downscale_linf,
+                                    white.report.source_ssim};
             }
           }
           if (black_rows != nullptr) {
             const BlackBoxVariant& variant =
-                kBlackBoxPool[static_cast<std::size_t>(i) %
-                              std::size(kBlackBoxPool)];
+                kBlackBoxPool[i % std::size(kBlackBoxPool)];
             attack::AttackOptions black_opts = white_opts;
             black_opts.eps = variant.eps;
             black_opts.max_sweeps = variant.max_sweeps;
@@ -322,12 +376,14 @@ ExperimentData run_experiment(const ExperimentConfig& config,
                     : target;
             const attack::AttackResult black =
                 attack::craft_attack(scene, black_target, black_opts);
-            black_rows->push_back(battery.score(black.image));
+            (*black_rows)[i] = battery.score(black.image);
           }
-          if ((i + 1) % 20 == 0 || i + 1 == count) {
-            progress(verbose, "[pipeline] %s %d/%d", label, i + 1, count);
+          const int done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (done % 20 == 0 || done == count) {
+            progress(verbose, "[pipeline] %s %d/%d", label, done, count);
           }
-        }
+        });
       };
 
   craft_and_score(params_a, 0x57A1Bull, config.n_train, "calibration set",

@@ -76,7 +76,18 @@ struct ExperimentData {
 /// Detector battery configuration derived from an ExperimentConfig.
 struct Battery {
   explicit Battery(const ExperimentConfig& config);
+
+  /// Builds an AnalysisContext from context_spec() and scores it.
   ScoreRow score(const Image& input) const;
+
+  /// Scores a prebuilt context; every stage reuses the context's
+  /// intermediates when they match this battery's configuration and
+  /// recomputes otherwise.
+  ScoreRow score(const AnalysisContext& context) const;
+
+  /// The intermediates the battery consumes: round trip at the CNN
+  /// geometry, 2x2 minimum filter, centered log-spectrum.
+  AnalysisContextSpec context_spec() const;
 
   int target_width;
   int target_height;

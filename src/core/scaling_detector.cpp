@@ -39,6 +39,28 @@ double ScalingDetector::score(const Image& input) const {
                                        : ssim(input, round);
 }
 
+double ScalingDetector::score(const AnalysisContext& context) const {
+  if (!context.round_trip_matches(config_.down_width, config_.down_height,
+                                  config_.down_algo, config_.up_algo)) {
+    return score(context.input());
+  }
+  DECAM_SPAN(config_.metric == Metric::MSE ? "detector/scaling/mse"
+                                           : "detector/scaling/ssim");
+  const Image& input = context.input();
+  DECAM_REQUIRE(input.width() > config_.down_width &&
+                    input.height() > config_.down_height,
+                "input must be larger than the CNN geometry");
+  return config_.metric == Metric::MSE ? mse(input, context.round_trip())
+                                       : ssim(input, context.round_trip());
+}
+
+void ScalingDetector::prime(AnalysisContextSpec& spec) const {
+  spec.down_width = config_.down_width;
+  spec.down_height = config_.down_height;
+  spec.down_algo = config_.down_algo;
+  spec.up_algo = config_.up_algo;
+}
+
 std::string ScalingDetector::name() const {
   return std::string("scaling/") + to_string(config_.metric);
 }

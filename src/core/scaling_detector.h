@@ -22,6 +22,10 @@ class ScalingDetector final : public Detector {
   explicit ScalingDetector(ScalingDetectorConfig config);
 
   double score(const Image& input) const override;
+  /// Reuses the context's round trip when it matches this geometry+scaler
+  /// pair; recomputes otherwise.
+  double score(const AnalysisContext& context) const override;
+  void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 
   /// The round-tripped image S (exposed for examples/visualisation).

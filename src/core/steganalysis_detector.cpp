@@ -20,9 +20,14 @@ SteganalysisDetector::SteganalysisDetector(SteganalysisDetectorConfig config)
 }
 
 Image SteganalysisDetector::binary_spectrum(const Image& input) const {
-  const Image spectrum = centered_log_spectrum(input);
-  const double radius =
-      config_.radius_fraction * std::min(input.width(), input.height()) / 2.0;
+  return binarize_spectrum(centered_log_spectrum(input));
+}
+
+Image SteganalysisDetector::binarize_spectrum(const Image& spectrum) const {
+  // The spectrum has the same dimensions as the image it came from, so the
+  // low-pass radius can be derived from it directly.
+  const double radius = config_.radius_fraction *
+                        std::min(spectrum.width(), spectrum.height()) / 2.0;
   const Image masked = circular_low_pass(spectrum, radius);
 
   // Adaptive level from the statistics INSIDE the mask: mean + k*std. The
@@ -53,21 +58,38 @@ Image SteganalysisDetector::binary_spectrum(const Image& input) const {
 }
 
 int SteganalysisDetector::count_csp(const Image& input) const {
+  return count_csp_in(centered_log_spectrum(input));
+}
+
+int SteganalysisDetector::count_csp_in(const Image& spectrum) const {
   int min_area = config_.min_blob_area;
   if (min_area == 0) {
     // Benign spectral speckles scale with image area (~plane/8000 at the
     // sizes we evaluate) while the harmonic copies of even small embedded
-    // targets stay above ~plane/3400; the floor sits between the two.
+    // targets stay above ~plane/3400; the floor sits between the two. The
+    // spectrum and the input share dimensions, so the floor is identical.
     min_area = std::max<int>(
-        6, static_cast<int>(static_cast<long long>(input.width()) *
-                            input.height() / 4500));
+        6, static_cast<int>(static_cast<long long>(spectrum.width()) *
+                            spectrum.height() / 4500));
   }
-  return count_blobs(binary_spectrum(input), min_area);
+  return count_blobs(binarize_spectrum(spectrum), min_area);
 }
 
 double SteganalysisDetector::score(const Image& input) const {
   DECAM_SPAN("detector/steganalysis/csp");
   return static_cast<double>(count_csp(input));
+}
+
+double SteganalysisDetector::score(const AnalysisContext& context) const {
+  if (!context.has_spectrum()) {
+    return score(context.input());
+  }
+  DECAM_SPAN("detector/steganalysis/csp");
+  return static_cast<double>(count_csp_in(context.spectrum()));
+}
+
+void SteganalysisDetector::prime(AnalysisContextSpec& spec) const {
+  spec.spectrum = true;
 }
 
 std::string SteganalysisDetector::name() const { return "steganalysis/csp"; }

@@ -33,6 +33,9 @@ class SteganalysisDetector final : public Detector {
 
   /// Returns the CSP count as a double (integer-valued).
   double score(const Image& input) const override;
+  /// Consumes the context's precomputed log-spectrum when present.
+  double score(const AnalysisContext& context) const override;
+  void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 
   /// Integer CSP count.
@@ -40,6 +43,13 @@ class SteganalysisDetector final : public Detector {
 
   /// The binary spectrum the blobs are counted in (for visualisation).
   Image binary_spectrum(const Image& input) const;
+
+  /// Mask + binarise an already-computed centered log-spectrum (same
+  /// dimensions as the image it came from).
+  Image binarize_spectrum(const Image& spectrum) const;
+
+  /// Count blobs in an already-computed centered log-spectrum.
+  int count_csp_in(const Image& spectrum) const;
 
   const SteganalysisDetectorConfig& config() const { return config_; }
 

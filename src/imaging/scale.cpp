@@ -35,9 +35,17 @@ Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
 
 Image scale_round_trip(const Image& src, int down_width, int down_height,
                        ScaleAlgo down, ScaleAlgo up) {
+  return scale_round_trip_full(src, down_width, down_height, down, up).up;
+}
+
+RoundTripImages scale_round_trip_full(const Image& src, int down_width,
+                                      int down_height, ScaleAlgo down,
+                                      ScaleAlgo up) {
   DECAM_SPAN("imaging/scale_round_trip");
-  const Image small = resize(src, down_width, down_height, down);
-  return resize(small, src.width(), src.height(), up);
+  RoundTripImages out;
+  out.down = resize(src, down_width, down_height, down);
+  out.up = resize(out.down, src.width(), src.height(), up);
+  return out;
 }
 
 }  // namespace decam

@@ -28,4 +28,15 @@ inline Image resize(const Image& src, int out_side, ScaleAlgo algo) {
 Image scale_round_trip(const Image& src, int down_width, int down_height,
                        ScaleAlgo down, ScaleAlgo up);
 
+/// Both halves of the round trip. Callers that also need the pipeline's
+/// downscaled view (core::AnalysisContext, the histogram baseline) take this
+/// variant so the downscale is computed once, not twice.
+struct RoundTripImages {
+  Image down;  // src at (down_width, down_height)
+  Image up;    // `down` scaled back to src geometry
+};
+RoundTripImages scale_round_trip_full(const Image& src, int down_width,
+                                      int down_height, ScaleAlgo down,
+                                      ScaleAlgo up);
+
 }  // namespace decam

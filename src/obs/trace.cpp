@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "obs/clock.h"
 
 namespace decam::obs {
 namespace {
@@ -74,6 +75,10 @@ std::string trace_file_path() {
   return value == nullptr ? std::string() : std::string(value);
 }
 
+void set_current_thread_name(std::string name) {
+  TraceBuffer::instance().set_thread_name(current_tid(), std::move(name));
+}
+
 TraceBuffer& TraceBuffer::instance() {
   static TraceBuffer buffer;
   return buffer;
@@ -99,11 +104,35 @@ std::vector<TraceEvent> TraceBuffer::snapshot() const {
   return events_;
 }
 
+void TraceBuffer::set_thread_name(std::uint32_t tid, std::string name) {
+  std::lock_guard lock(mutex_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> TraceBuffer::thread_names()
+    const {
+  std::lock_guard lock(mutex_);
+  return {thread_names_.begin(), thread_names_.end()};
+}
+
 std::string TraceBuffer::chrome_json() const {
   const std::vector<TraceEvent> events = snapshot();
+  const auto names = thread_names();
   std::string out = "{\"traceEvents\":[";
   char number[64];
   bool first = true;
+  // Thread-name metadata first, so viewers label worker rows before laying
+  // out the duration events recorded from them.
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(number, sizeof(number), "%u", tid);
+    out += "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += number;
+    out += ",\"args\":{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\"}}";
+  }
   for (const TraceEvent& event : events) {
     if (!first) out += ',';
     first = false;

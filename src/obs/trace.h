@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace decam::obs {
@@ -33,6 +35,12 @@ void set_tracing_enabled(bool enabled);
 
 /// Value of DECAM_TRACE_FILE, or empty when unset.
 std::string trace_file_path();
+
+/// Labels the calling thread's trace timeline (runtime pool workers register
+/// as "decam-worker-N"). Exported as Chrome "thread_name" metadata so worker
+/// rows are named in chrome://tracing. Cheap; recorded even when tracing is
+/// off so a later set_tracing_enabled(true) still has the names.
+void set_current_thread_name(std::string name);
 
 struct TraceEvent {
   std::string name;
@@ -50,6 +58,11 @@ class TraceBuffer {
   void clear();
   std::vector<TraceEvent> snapshot() const;
 
+  /// Thread-name registry feeding the Chrome metadata events. clear() does
+  /// NOT drop names: threads outlive trace epochs.
+  void set_thread_name(std::uint32_t tid, std::string name);
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names() const;
+
   /// Chrome trace-event JSON ({"traceEvents": [...]}).
   std::string chrome_json() const;
   /// Writes chrome_json() to `path` (throws IoError on failure).
@@ -60,6 +73,7 @@ class TraceBuffer {
 
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::map<std::uint32_t, std::string> thread_names_;
 };
 
 /// Writes the buffer to DECAM_TRACE_FILE if tracing is enabled and the env

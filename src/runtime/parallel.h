@@ -1,0 +1,75 @@
+// parallel_for / parallel_map on a ThreadPool (DESIGN.md §8).
+//
+// Contract:
+//  - body(i) runs exactly once per index, on an unspecified lane/thread;
+//  - the call returns only after every index completed (or an exception
+//    stopped the range) — effects are visible to the caller;
+//  - the first exception thrown by any lane is rethrown on the caller, the
+//    remaining lanes stop at their next index boundary;
+//  - a size-1 pool, a single-index range, and calls made from inside a pool
+//    worker (nested parallelism) all degrade to the plain serial loop on
+//    the calling thread.
+//
+// Determinism is the caller's job: write results into index-ordered slots
+// and derive per-index RNG state before fanning out (core/pipeline.cpp is
+// the reference pattern).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace decam::runtime {
+
+namespace detail {
+/// Type-erased core; lives in thread_pool.cpp. `body` must stay valid for
+/// the duration of the call (guaranteed: the call blocks).
+void parallel_for_impl(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (pool.size() <= 1 || count <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) body(begin + i);
+    return;
+  }
+  const std::function<void(std::size_t)> erased = [&body, begin](
+                                                      std::size_t i) {
+    body(begin + i);
+  };
+  detail::parallel_for_impl(pool, count, erased);
+}
+
+/// parallel_for on the global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+  parallel_for(global_pool(), begin, end, std::forward<Body>(body));
+}
+
+/// Maps fn over items into an index-ordered result vector (input order is
+/// preserved no matter which lane computed each slot). The result type must
+/// be default-constructible and move-assignable.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  std::vector<std::decay_t<decltype(fn(items.front()))>> out(items.size());
+  parallel_for(pool, 0, items.size(),
+               [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// parallel_map on the global pool.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn) {
+  return parallel_map(global_pool(), items, std::forward<Fn>(fn));
+}
+
+}  // namespace decam::runtime

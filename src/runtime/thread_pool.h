@@ -1,0 +1,81 @@
+// Fixed-size worker pool — the parallel execution substrate every layer
+// above it shares (DESIGN.md §8).
+//
+// Model: a ThreadPool of size N owns N-1 worker threads plus the calling
+// thread; parallel_for (runtime/parallel.h) splits an index range into N
+// lanes that pull indices from one atomic counter, so the pool is saturated
+// without per-index task overhead. Size 1 spawns no threads and runs
+// everything inline on the caller — the serial build is a degenerate pool,
+// not a separate code path.
+//
+// Sizing: DECAM_THREADS env (>= 1) overrides the hardware-concurrency
+// default; frontends additionally expose a --threads flag that wins over
+// both via set_thread_count().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decam::runtime {
+
+class ThreadPool {
+ public:
+  /// A pool of total parallelism `threads` (clamped to >= 1): `threads - 1`
+  /// workers are spawned, the thread calling parallel_for is the last lane.
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  /// Total parallelism (worker count + 1), >= 1.
+  int size() const { return size_; }
+
+  /// Enqueues a task for any worker. Fire-and-forget: completion is the
+  /// caller's protocol (parallel_for counts its lanes). On a size-1 pool
+  /// the task runs inline, immediately.
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is a pool worker (any pool). parallel_for
+  /// uses this to run nested parallelism inline instead of deadlocking on
+  /// the queue.
+  static bool on_worker_thread();
+
+ private:
+  void worker_main(int index);
+
+  int size_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+int hardware_thread_count();
+
+/// Parsed DECAM_THREADS, or 0 when unset / empty / not a positive integer.
+int env_thread_count();
+
+/// env_thread_count() when set, else hardware_thread_count().
+int default_thread_count();
+
+/// The process-wide pool, built lazily at default_thread_count() (or the
+/// last set_thread_count() override). References stay valid until the next
+/// set_thread_count() that changes the size.
+ThreadPool& global_pool();
+
+/// Overrides the global pool size (frontend --threads flags); 0 restores
+/// the DECAM_THREADS / hardware default. Rebuilds the pool if it already
+/// exists — call between parallel regions, not during one.
+void set_thread_count(int threads);
+
+/// Size the global pool has (or would be built with).
+int thread_count();
+
+}  // namespace decam::runtime

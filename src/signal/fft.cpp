@@ -66,7 +66,11 @@ const BluesteinPlan& bluestein_plan(std::size_t n, bool inverse) {
       return n != o.n ? n < o.n : inverse < o.inverse;
     }
   };
-  static std::map<Key, BluesteinPlan> cache;
+  // thread_local: the runtime layer (src/runtime) scores images from pool
+  // workers concurrently; a shared cache would race on insert/clear and the
+  // returned reference could be invalidated by another thread's clear().
+  // Per-thread caches cost a few re-derived plans per worker instead.
+  thread_local std::map<Key, BluesteinPlan> cache;
   const Key key{n, inverse};
   auto found = cache.find(key);
   if (found != cache.end()) return found->second;

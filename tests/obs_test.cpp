@@ -541,5 +541,29 @@ TEST_F(ObsTest, ClockIsMonotoneAndThreadIdsAreStable) {
   EXPECT_NE(other, current_tid());
 }
 
+// ---------------------------------------------------------------------------
+// Thread-name metadata (runtime pool workers label their trace rows).
+// NOTE: names registered here outlive TraceBuffer::clear(), so this test
+// stays after the event-count assertions above.
+
+TEST_F(ObsTest, ChromeTraceCarriesThreadNameMetadata) {
+  set_current_thread_name("decam-test-main");
+  set_tracing_enabled(true);
+  { Span span("named_span"); }
+  set_tracing_enabled(false);
+
+  const std::string json = TraceBuffer::instance().chrome_json();
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.items.size(), 2u);  // metadata first, then the span
+  const JsonValue& meta = events.items[0];
+  EXPECT_EQ(meta.at("ph").text, "M");
+  EXPECT_EQ(meta.at("name").text, "thread_name");
+  EXPECT_EQ(meta.at("pid").number, 1.0);
+  EXPECT_EQ(meta.at("tid").number, static_cast<double>(current_tid()));
+  EXPECT_EQ(meta.at("args").at("name").text, "decam-test-main");
+  EXPECT_EQ(events.items[1].at("name").text, "named_span");
+}
+
 }  // namespace
 }  // namespace decam::obs

@@ -1,0 +1,131 @@
+// The determinism contract (DESIGN.md §8): running the experiment pipeline
+// through the thread pool must be bit-for-bit identical to the serial run —
+// same ScoreRows in the same order, same attack-quality rows, and a cache
+// TSV that a serial run would also have written.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "runtime/thread_pool.h"
+
+namespace decam::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.n_train = 3;
+  config.n_eval = 3;
+  config.target_width = config.target_height = 24;
+  config.min_side = 96;
+  config.max_side = 120;
+  config.seed = 7;
+  return config;
+}
+
+void expect_rows_equal(const std::vector<ScoreRow>& serial,
+                       const std::vector<ScoreRow>& parallel,
+                       const char* label) {
+  ASSERT_EQ(serial.size(), parallel.size()) << label;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(std::string(label) + " row " + std::to_string(i));
+    EXPECT_EQ(serial[i].scaling_mse, parallel[i].scaling_mse);
+    EXPECT_EQ(serial[i].scaling_ssim, parallel[i].scaling_ssim);
+    EXPECT_EQ(serial[i].scaling_psnr, parallel[i].scaling_psnr);
+    EXPECT_EQ(serial[i].filtering_mse, parallel[i].filtering_mse);
+    EXPECT_EQ(serial[i].filtering_ssim, parallel[i].filtering_ssim);
+    EXPECT_EQ(serial[i].filtering_psnr, parallel[i].filtering_psnr);
+    EXPECT_EQ(serial[i].csp, parallel[i].csp);
+    EXPECT_EQ(serial[i].histogram, parallel[i].histogram);
+  }
+}
+
+class RuntimeDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { runtime::set_thread_count(0); }
+};
+
+TEST_F(RuntimeDeterminismTest, ParallelScoresAreBitIdenticalToSerial) {
+  const ExperimentConfig config = tiny_config();
+
+  runtime::set_thread_count(1);
+  const ExperimentData serial = run_experiment(config, {}, false);
+
+  runtime::set_thread_count(4);
+  const ExperimentData parallel = run_experiment(config, {}, false);
+
+  expect_rows_equal(serial.train_benign, parallel.train_benign,
+                    "train_benign");
+  expect_rows_equal(serial.train_attack, parallel.train_attack,
+                    "train_attack");
+  expect_rows_equal(serial.eval_benign, parallel.eval_benign, "eval_benign");
+  expect_rows_equal(serial.eval_attack_white, parallel.eval_attack_white,
+                    "eval_attack_white");
+  expect_rows_equal(serial.eval_attack_black, parallel.eval_attack_black,
+                    "eval_attack_black");
+  ASSERT_EQ(serial.attack_quality.size(), parallel.attack_quality.size());
+  for (std::size_t i = 0; i < serial.attack_quality.size(); ++i) {
+    SCOPED_TRACE("attack_quality row " + std::to_string(i));
+    EXPECT_EQ(serial.attack_quality[i].downscale_linf,
+              parallel.attack_quality[i].downscale_linf);
+    EXPECT_EQ(serial.attack_quality[i].source_ssim,
+              parallel.attack_quality[i].source_ssim);
+  }
+}
+
+TEST_F(RuntimeDeterminismTest, ParallelCacheTsvMatchesSerialWriter) {
+  const ExperimentConfig config = tiny_config();
+  const std::filesystem::path dir_serial =
+      std::filesystem::temp_directory_path() / "decam_determinism_serial";
+  const std::filesystem::path dir_parallel =
+      std::filesystem::temp_directory_path() / "decam_determinism_parallel";
+  std::filesystem::remove_all(dir_serial);
+  std::filesystem::remove_all(dir_parallel);
+
+  runtime::set_thread_count(1);
+  run_experiment(config, dir_serial, false);
+  runtime::set_thread_count(4);
+  const ExperimentData parallel = run_experiment(config, dir_parallel, false);
+
+  // The TSV is written by the single caller thread after the parallel
+  // region; both directories must hold one byte-identical cache file.
+  const auto read_only_file = [](const std::filesystem::path& dir) {
+    std::filesystem::path found;
+    int count = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      found = entry.path();
+      ++count;
+    }
+    EXPECT_EQ(count, 1) << dir;
+    std::ifstream in(found, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string serial_bytes = read_only_file(dir_serial);
+  const std::string parallel_bytes = read_only_file(dir_parallel);
+  EXPECT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+
+  // And the parallel-written cache loads back as a valid experiment that
+  // matches what the run returned.
+  std::filesystem::path cache_file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_parallel)) {
+    cache_file = entry.path();
+  }
+  const std::optional<ExperimentData> loaded =
+      load_experiment(config, cache_file);
+  ASSERT_TRUE(loaded.has_value());
+  expect_rows_equal(parallel.eval_attack_black, loaded->eval_attack_black,
+                    "reloaded eval_attack_black");
+
+  std::filesystem::remove_all(dir_serial);
+  std::filesystem::remove_all(dir_parallel);
+}
+
+}  // namespace
+}  // namespace decam::core

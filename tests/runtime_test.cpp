@@ -1,0 +1,184 @@
+// Tests for the runtime layer (src/runtime): pool lifecycle, parallel_for
+// index coverage under contention, exception propagation, serial
+// degradation (size-1 pools and DECAM_THREADS=1), nested parallelism, and
+// parallel_map ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace decam::runtime {
+namespace {
+
+// Restores DECAM_THREADS and the global pool override after a test that
+// touches either, so test order stays irrelevant.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("DECAM_THREADS");
+    saved_env_ = env != nullptr ? std::optional<std::string>(env)
+                                : std::nullopt;
+  }
+  void TearDown() override {
+    if (saved_env_) {
+      ::setenv("DECAM_THREADS", saved_env_->c_str(), 1);
+    } else {
+      ::unsetenv("DECAM_THREADS");
+    }
+    set_thread_count(0);
+  }
+
+ private:
+  std::optional<std::string> saved_env_;
+};
+
+TEST_F(RuntimeTest, PoolStartsAndJoinsCleanly) {
+  for (const int size : {1, 2, 4, 8}) {
+    ThreadPool pool(size);
+    EXPECT_EQ(pool.size(), size);
+  }
+  ThreadPool clamped_zero(0);
+  EXPECT_EQ(clamped_zero.size(), 1);
+  ThreadPool clamped_negative(-3);
+  EXPECT_EQ(clamped_negative.size(), 1);
+}
+
+TEST_F(RuntimeTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool: workers drain the queue, then join
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST_F(RuntimeTest, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(pool, 0, kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(RuntimeTest, ParallelForHonoursRangeOffsets) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for(pool, 100, 200, [&](std::size_t i) {
+    ASSERT_GE(i, 100u);
+    ASSERT_LT(i, 200u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 0);
+  for (std::size_t i = 100; i < 200; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // Empty and inverted ranges are no-ops.
+  parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+  parallel_for(pool, 7, 3, [](std::size_t) { FAIL(); });
+}
+
+TEST_F(RuntimeTest, WorkerExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000,
+                   [](std::size_t i) {
+                     if (i == 137) throw std::runtime_error("lane failed");
+                   }),
+      std::runtime_error);
+  // The pool survives a failed region and is immediately reusable.
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(RuntimeTest, SizeOnePoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;  // no synchronisation: the loop is serial
+  parallel_for(pool, 0, 64,
+               [&](std::size_t) { ids.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST_F(RuntimeTest, EnvThreadCountParsing) {
+  ::setenv("DECAM_THREADS", "3", 1);
+  EXPECT_EQ(env_thread_count(), 3);
+  EXPECT_EQ(default_thread_count(), 3);
+  ::setenv("DECAM_THREADS", "0", 1);
+  EXPECT_EQ(env_thread_count(), 0);
+  ::setenv("DECAM_THREADS", "-2", 1);
+  EXPECT_EQ(env_thread_count(), 0);
+  ::setenv("DECAM_THREADS", "banana", 1);
+  EXPECT_EQ(env_thread_count(), 0);
+  ::setenv("DECAM_THREADS", "4x", 1);
+  EXPECT_EQ(env_thread_count(), 0);
+  ::setenv("DECAM_THREADS", "", 1);
+  EXPECT_EQ(env_thread_count(), 0);
+  ::unsetenv("DECAM_THREADS");
+  EXPECT_EQ(env_thread_count(), 0);
+  EXPECT_EQ(default_thread_count(), hardware_thread_count());
+}
+
+TEST_F(RuntimeTest, EnvThreadCountOneDegradesToSerial) {
+  ::setenv("DECAM_THREADS", "1", 1);
+  set_thread_count(0);  // follow the env override
+  ASSERT_EQ(thread_count(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  parallel_for(0, 16, [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST_F(RuntimeTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    // From a worker lane this degrades to the serial loop instead of
+    // re-entering the queue the lane itself is draining.
+    parallel_for(pool, 0, 8, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST_F(RuntimeTest, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> doubled =
+      parallel_map(pool, items, [](int v) { return 2 * v; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(doubled[static_cast<std::size_t>(i)], 2 * i);
+  }
+}
+
+TEST_F(RuntimeTest, SetThreadCountControlsGlobalPool) {
+  ::unsetenv("DECAM_THREADS");
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3);
+  EXPECT_EQ(global_pool().size(), 3);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), default_thread_count());
+}
+
+}  // namespace
+}  // namespace decam::runtime
