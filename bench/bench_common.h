@@ -15,10 +15,20 @@
 //                    any thread count
 #pragma once
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/calibration.h"
 #include "core/evaluation.h"
@@ -90,3 +100,273 @@ inline void print_banner(const char* title, const BenchArgs& args) {
 }
 
 }  // namespace decam::bench
+
+// ---------------------------------------------------------------------------
+// Micro-benchmark scaffolding (bench/kernel_bench and future perf benches).
+//
+// Each benchmark is a closure timed with steady_clock over enough iterations
+// to fill a small time budget; the *minimum* iteration time is reported (the
+// usual micro-bench convention: the minimum is the run least disturbed by
+// the OS). Results normalise to ns/pixel and MP/s over a caller-declared
+// pixel count so numbers are comparable across image geometries, and can be
+// serialised to a stable JSON document (schema `decam-kernel-bench-v1`)
+// that downstream tooling validates with validate_bench_json().
+// ---------------------------------------------------------------------------
+
+namespace decam::bench::micro {
+
+struct BenchResult {
+  std::string name;
+  std::size_t pixels = 0;   // work size the timings normalise over
+  double ms_per_iter = 0.0; // minimum observed iteration time
+  double ns_per_pixel = 0.0;
+  double mpix_per_s = 0.0;
+  int iters = 0;
+};
+
+/// Times `fn` until `budget_ms` of measured work has accumulated (at least
+/// `min_iters` runs), returning the minimum-iteration normalisation.
+inline BenchResult run_bench(const std::string& name, std::size_t pixels,
+                             double budget_ms, const std::function<void()>& fn,
+                             int min_iters = 3) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up: first-touch allocations, table caches, branch training
+  BenchResult result;
+  result.name = name;
+  result.pixels = pixels;
+  double total_ms = 0.0;
+  double best_ms = std::numeric_limits<double>::infinity();
+  int iters = 0;
+  while (iters < min_iters || total_ms < budget_ms) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best_ms = std::min(best_ms, ms);
+    total_ms += ms;
+    ++iters;
+    if (iters >= 1000) break;  // fast kernels: enough samples
+  }
+  result.ms_per_iter = best_ms;
+  result.iters = iters;
+  const double ns = best_ms * 1e6;
+  result.ns_per_pixel = ns / static_cast<double>(pixels);
+  result.mpix_per_s =
+      static_cast<double>(pixels) / (best_ms * 1e-3) / 1e6;
+  return result;
+}
+
+inline void print_result(const BenchResult& r) {
+  std::printf("%-34s %10.3f ms  %8.3f ns/px  %9.1f MP/s  (x%d)\n",
+              r.name.c_str(), r.ms_per_iter, r.ns_per_pixel, r.mpix_per_s,
+              r.iters);
+}
+
+/// Serialises results as the `decam-kernel-bench-v1` JSON document.
+inline std::string bench_json(const std::vector<BenchResult>& results,
+                              bool quick) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"decam-kernel-bench-v1\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"pixels\": %zu, "
+                  "\"ms_per_iter\": %.6f, \"ns_per_pixel\": %.6f, "
+                  "\"mpix_per_s\": %.3f, \"iters\": %d}%s\n",
+                  r.name.c_str(), r.pixels, r.ms_per_iter, r.ns_per_pixel,
+                  r.mpix_per_s, r.iters,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------------ JSON --
+// Minimal JSON reader for schema validation: parses objects/arrays/strings/
+// numbers/bools into a tiny DOM. Not a general-purpose parser (no \uXXXX,
+// no nesting limits) — just enough to hold the bench document to account.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return parse_string(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.kind = JsonValue::Kind::Null;
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    return consume('"');
+  }
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::atof(std::string(text_.substr(start, pos_ - start)).c_str());
+    return true;
+  }
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.array.push_back(std::move(item));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Validates a `decam-kernel-bench-v1` document: schema marker, non-empty
+/// benchmark array, and per-entry name/pixels/throughput sanity. Returns an
+/// empty string on success, else a description of the first violation.
+inline std::string validate_bench_json(std::string_view text) {
+  JsonValue root;
+  if (!JsonParser(text).parse(root)) return "not parseable as JSON";
+  if (root.kind != JsonValue::Kind::Object) return "root is not an object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::String ||
+      schema->string != "decam-kernel-bench-v1") {
+    return "missing/wrong schema marker";
+  }
+  const JsonValue* quick = root.find("quick");
+  if (quick == nullptr || quick->kind != JsonValue::Kind::Bool) {
+    return "missing boolean 'quick'";
+  }
+  const JsonValue* benches = root.find("benchmarks");
+  if (benches == nullptr || benches->kind != JsonValue::Kind::Array) {
+    return "missing 'benchmarks' array";
+  }
+  if (benches->array.empty()) return "'benchmarks' is empty";
+  for (const JsonValue& b : benches->array) {
+    if (b.kind != JsonValue::Kind::Object) return "benchmark not an object";
+    const JsonValue* name = b.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::String ||
+        name->string.empty()) {
+      return "benchmark without a name";
+    }
+    for (const char* key : {"pixels", "ms_per_iter", "ns_per_pixel",
+                            "mpix_per_s", "iters"}) {
+      const JsonValue* v = b.find(key);
+      if (v == nullptr || v->kind != JsonValue::Kind::Number ||
+          !(v->number > 0.0)) {
+        return "benchmark '" + name->string + "': non-positive " + key;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace decam::bench::micro

@@ -1,0 +1,190 @@
+// Microbenchmarks for the hot imaging/signal kernels every detector funnels
+// through: separable resize (all five algorithms, up and down), the rank
+// filters of the filtering detector, box/Gaussian blur, the FFT
+// log-spectrum, and one full Battery::score. Each benchmark reports the
+// minimum iteration time normalised to ns/pixel and MP/s over a fixed
+// synthetic input (seed 7), so numbers are comparable across commits and
+// hosts of the same class.
+//
+//   kernel_bench [--quick] [--json] [--out FILE] [--filter SUBSTR]
+//   kernel_bench --validate FILE
+//
+// --json writes the `decam-kernel-bench-v1` document (default
+// BENCH_kernels.json — run from the repo root to refresh the committed perf
+// trail) and re-reads it through the schema validator before exiting, so a
+// malformed file can never be written silently. --validate checks an
+// existing file and exits non-zero on violation (the bench_smoke ctest).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "imaging/filter.h"
+#include "imaging/scale.h"
+#include "signal/spectrum.h"
+
+namespace {
+
+using namespace decam;
+using bench::micro::BenchResult;
+using bench::micro::run_bench;
+
+struct Options {
+  bool quick = false;
+  bool json = false;
+  std::string out = "BENCH_kernels.json";
+  std::string filter;
+  std::string validate;  // non-empty: validate this file and exit
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      opt.filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--validate") == 0 && i + 1 < argc) {
+      opt.validate = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json] [--out FILE] "
+                   "[--filter SUBSTR] | --validate FILE\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+int validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "kernel_bench: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string error = bench::micro::validate_bench_json(text.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "kernel_bench: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid decam-kernel-bench-v1 document\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (!opt.validate.empty()) return validate_file(opt.validate);
+
+  // Fixed synthetic inputs. `big` plays the scanned image, `small` the CNN
+  // input geometry it round-trips through.
+  const int side = opt.quick ? 192 : 512;
+  const int cnn = opt.quick ? 96 : 224;
+  const double budget_ms = opt.quick ? 40.0 : 300.0;
+
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = side;
+  data::Rng rng(7);
+  const Image big = generate_scene(params, rng);
+  const Image small = resize(big, cnn, cnn, ScaleAlgo::Bilinear);
+  const std::size_t big_px = big.plane_size() * big.channels();
+
+  std::printf("kernel_bench: %dx%dx%d scene (seed 7)%s\n\n", big.width(),
+              big.height(), big.channels(), opt.quick ? " [quick]" : "");
+
+  std::vector<BenchResult> results;
+  auto bench = [&](const std::string& name, std::size_t pixels,
+                   const std::function<void()>& fn) {
+    if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) {
+      return;
+    }
+    results.push_back(run_bench(name, pixels, budget_ms, fn));
+    bench::micro::print_result(results.back());
+  };
+
+  // --- separable resize, every algorithm, down and up ---------------------
+  for (const ScaleAlgo algo :
+       {ScaleAlgo::Nearest, ScaleAlgo::Bilinear, ScaleAlgo::Bicubic,
+        ScaleAlgo::Area, ScaleAlgo::Lanczos4}) {
+    const std::string tag = to_string(algo);
+    bench("resize/" + tag + "/down", big_px,
+          [&] { (void)resize(big, cnn, cnn, algo); });
+    bench("resize/" + tag + "/up", big_px,
+          [&] { (void)resize(small, side, side, algo); });
+  }
+  bench("resize/bicubic/round_trip", big_px, [&] {
+    (void)scale_round_trip(big, cnn, cnn, ScaleAlgo::Bicubic,
+                           ScaleAlgo::Bicubic);
+  });
+
+  // --- rank filters (the filtering detector's hot loop) -------------------
+  for (const int k : {2, 3, 5, 9}) {
+    bench("rank/min/k" + std::to_string(k), big_px,
+          [&, k] { (void)rank_filter(big, k, RankOp::Min); });
+  }
+  bench("rank/max/k9", big_px, [&] { (void)rank_filter(big, 9, RankOp::Max); });
+  for (const int k : {3, 5, 9}) {
+    bench("rank/median/k" + std::to_string(k), big_px,
+          [&, k] { (void)rank_filter(big, k, RankOp::Median); });
+  }
+
+  // --- blurs (dataset generator / robustness experiments) -----------------
+  for (const int k : {3, 9, 25}) {
+    bench("blur/box/k" + std::to_string(k), big_px,
+          [&, k] { (void)box_blur(big, k); });
+  }
+  bench("blur/gaussian/s1.5", big_px, [&] { (void)gaussian_blur(big, 1.5); });
+
+  // --- FFT log-spectrum (steganalysis detection) ---------------------------
+  bench("spectrum/pow2", big.plane_size(), [&] {
+    (void)centered_log_spectrum(big);  // 512/192: radix-2 fast path
+  });
+  {
+    const int odd = opt.quick ? 150 : 450;  // non-pow2: Bluestein path
+    const Image awkward = resize(big, odd, odd, ScaleAlgo::Bilinear);
+    bench("spectrum/bluestein", awkward.plane_size(),
+          [&] { (void)centered_log_spectrum(awkward); });
+  }
+
+  // --- one full battery score (everything a `decamctl scan` pays) ---------
+  {
+    core::ExperimentConfig config;
+    config.target_width = config.target_height = cnn;
+    const core::Battery battery(config);
+    bench("battery/score", big_px, [&] { (void)battery.score(big); });
+  }
+
+  if (opt.json) {
+    const std::string doc = bench::micro::bench_json(results, opt.quick);
+    const std::string error = bench::micro::validate_bench_json(doc);
+    if (!error.empty()) {
+      std::fprintf(stderr, "kernel_bench: refusing to write %s: %s\n",
+                   opt.out.c_str(), error.c_str());
+      return 1;
+    }
+    std::ofstream out(opt.out);
+    if (!out) {
+      std::fprintf(stderr, "kernel_bench: cannot write %s\n",
+                   opt.out.c_str());
+      return 1;
+    }
+    out << doc;
+    out.close();
+    std::printf("\nwrote %s (%zu benchmarks)\n", opt.out.c_str(),
+                results.size());
+  }
+  return 0;
+}

@@ -3,10 +3,10 @@
 namespace decam::attack {
 
 CoeffMatrix::CoeffMatrix(KernelTable table) : table_(std::move(table)) {
-  row_norms_sq_.reserve(table_.taps.size());
-  for (const auto& taps : table_.taps) {
+  row_norms_sq_.reserve(static_cast<std::size_t>(table_.out_size));
+  for (int r = 0; r < table_.out_size; ++r) {
     double norm = 0.0;
-    for (const Tap& tap : taps) {
+    for (const Tap& tap : table_.row(r)) {
       norm += static_cast<double>(tap.weight) * tap.weight;
     }
     row_norms_sq_.push_back(norm);

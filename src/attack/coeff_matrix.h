@@ -8,6 +8,7 @@
 // operations the attack and its tests need.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "imaging/kernels.h"
@@ -27,9 +28,7 @@ class CoeffMatrix {
   int rows() const { return table_.out_size; }
   int cols() const { return table_.in_size; }
 
-  const std::vector<Tap>& row_taps(int r) const {
-    return table_.taps[static_cast<std::size_t>(r)];
-  }
+  std::span<const Tap> row_taps(int r) const { return table_.row(r); }
 
   /// Dense element access (0 where no tap exists). O(taps) per call; for
   /// tests and small analyses only.

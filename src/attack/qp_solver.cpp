@@ -59,7 +59,7 @@ QpResult solve_attack_qp(const CoeffMatrix& C, const std::vector<double>& s,
   // what keeps Dykstra fast when the optimum sits on a box corner — the
   // plain slab/box alternation crawls there.
   std::vector<double> y_buf;
-  auto project_slab_box = [&](const std::vector<Tap>& taps, double lower,
+  auto project_slab_box = [&](std::span<const Tap> taps, double lower,
                               double upper, std::vector<double>& y) {
     auto g_of = [&](double lambda) {
       double g = 0.0;
@@ -119,7 +119,7 @@ QpResult solve_attack_qp(const CoeffMatrix& C, const std::vector<double>& s,
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     // Slab-within-box constraints, one Dykstra step each.
     for (int r = 0; r < rows; ++r) {
-      const auto& taps = C.row_taps(r);
+      const auto taps = C.row_taps(r);
       const std::size_t base = offsets[static_cast<std::size_t>(r)];
       // y = x + correction (on the support only).
       y_buf.resize(taps.size());

@@ -21,9 +21,9 @@ Image craft_nearest(const Image& source, const Image& target) {
   Image attack = source;
   for (int c = 0; c < source.channels(); ++c) {
     for (int ty = 0; ty < target.height(); ++ty) {
-      const int sy = vert.taps[static_cast<std::size_t>(ty)][0].index;
+      const int sy = vert.row(ty)[0].index;
       for (int tx = 0; tx < target.width(); ++tx) {
-        const int sx = horiz.taps[static_cast<std::size_t>(tx)][0].index;
+        const int sx = horiz.row(tx)[0].index;
         attack.at(sx, sy, c) = target.at(tx, ty, c);
       }
     }

@@ -8,40 +8,185 @@
 
 namespace decam {
 
+namespace {
+
+struct MinOp {
+  float operator()(float a, float b) const { return a < b ? a : b; }
+};
+struct MaxOp {
+  float operator()(float a, float b) const { return a > b ? a : b; }
+};
+
+// --------------------------------------------------------- van Herk core --
+//
+// Sliding-window min/max in 3 comparisons per sample independent of k
+// (van Herk 1992; Gil & Werman 1993). Over a padded array `a` of length
+// m = n + k - 1 the window result is
+//     out[j] = op(L[j], R[j + k - 1]),
+// where R is the running op from the start of each k-aligned block and L the
+// running op from the end of the block. Border replication is handled by the
+// caller padding the last k - 1 samples with the edge value, which
+// reproduces the clamped-window semantics of the naive filter exactly (the
+// result is always an element of the input, so the pass is bit-exact).
+
+// One padded scanline: out[j] = op over a[j .. j+k-1], j in [0, n).
+template <typename Op>
+void van_herk_line(const float* a, int m, int k, float* left, float* right,
+                   float* out, int n, Op op) {
+  for (int block = 0; block < m; block += k) {
+    const int end = std::min(block + k, m);
+    right[block] = a[block];
+    for (int i = block + 1; i < end; ++i) right[i] = op(right[i - 1], a[i]);
+    left[end - 1] = a[end - 1];
+    for (int i = end - 2; i >= block; --i) left[i] = op(left[i + 1], a[i]);
+  }
+  for (int j = 0; j < n; ++j) out[j] = op(left[j], right[j + k - 1]);
+}
+
+// Separable rank min/max: horizontal van Herk per scanline, then a vertical
+// van Herk over whole rows (row-major, so the plane is walked in contiguous
+// cache lines; the "array elements" of the vertical pass are entire rows
+// combined elementwise).
+template <typename Op>
+void rank_min_max(const Image& img, int k, Op op, Image& out) {
+  const int w = img.width();
+  const int h = img.height();
+  const int mx = w + k - 1;  // padded scanline length
+  const int my = h + k - 1;  // padded row count
+
+  std::vector<float> pad(static_cast<std::size_t>(mx));
+  std::vector<float> left(static_cast<std::size_t>(mx));
+  std::vector<float> right(static_cast<std::size_t>(mx));
+  // Vertical scratch: block-prefix and block-suffix planes over padded rows.
+  const std::size_t plane = static_cast<std::size_t>(my) * w;
+  std::vector<float> vert_right(plane);
+  std::vector<float> vert_left(plane);
+  Image row_pass(w, h, 1);
+
+  for (int c = 0; c < img.channels(); ++c) {
+    // Horizontal: out(x) = op over row[x .. x+k-1] with edge replication.
+    for (int y = 0; y < h; ++y) {
+      const float* row = img.row(y, c).data();
+      std::copy(row, row + w, pad.begin());
+      std::fill(pad.begin() + w, pad.end(), row[w - 1]);
+      van_herk_line(pad.data(), mx, k, left.data(), right.data(),
+                    row_pass.row(y, 0).data(), w, op);
+    }
+
+    // Vertical: the padded "array" is the row sequence 0..h-1 followed by
+    // k-1 copies of the last row; R/L are computed per k-aligned block.
+    auto padded_row = [&](int r) {
+      return row_pass.row(std::min(r, h - 1), 0).data();
+    };
+    for (int block = 0; block < my; block += k) {
+      const int end = std::min(block + k, my);
+      float* r_first = vert_right.data() + static_cast<std::size_t>(block) * w;
+      std::copy(padded_row(block), padded_row(block) + w, r_first);
+      for (int i = block + 1; i < end; ++i) {
+        const float* prev =
+            vert_right.data() + static_cast<std::size_t>(i - 1) * w;
+        float* cur = vert_right.data() + static_cast<std::size_t>(i) * w;
+        const float* a = padded_row(i);
+        for (int x = 0; x < w; ++x) cur[x] = op(prev[x], a[x]);
+      }
+      float* l_last = vert_left.data() + static_cast<std::size_t>(end - 1) * w;
+      std::copy(padded_row(end - 1), padded_row(end - 1) + w, l_last);
+      for (int i = end - 2; i >= block; --i) {
+        const float* next =
+            vert_left.data() + static_cast<std::size_t>(i + 1) * w;
+        float* cur = vert_left.data() + static_cast<std::size_t>(i) * w;
+        const float* a = padded_row(i);
+        for (int x = 0; x < w; ++x) cur[x] = op(next[x], a[x]);
+      }
+    }
+    for (int y = 0; y < h; ++y) {
+      const float* l = vert_left.data() + static_cast<std::size_t>(y) * w;
+      const float* r =
+          vert_right.data() + static_cast<std::size_t>(y + k - 1) * w;
+      float* o = out.row(y, c).data();
+      for (int x = 0; x < w; ++x) o[x] = op(l[x], r[x]);
+    }
+  }
+}
+
+// Exact median via an incrementally maintained sorted window: sliding one
+// column in/out of the k x k window costs k binary-search erases + k
+// binary-search inserts into a k^2 array (tiny memmoves) instead of
+// rebuilding and nth_element-ing the window per pixel. The median is always
+// an element of the input, so results match the naive filter bit-exactly —
+// including the duplicated values clamped borders contribute.
+void rank_median(const Image& img, int k, Image& out) {
+  const int w = img.width();
+  const int h = img.height();
+  const std::size_t window_size = static_cast<std::size_t>(k) * k;
+  const std::size_t mid = window_size / 2;
+  std::vector<float> window;
+  window.reserve(window_size);
+  std::vector<const float*> rows(static_cast<std::size_t>(k));
+
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int dy = 0; dy < k; ++dy) {
+        rows[static_cast<std::size_t>(dy)] =
+            img.row(std::min(y + dy, h - 1), c).data();
+      }
+      // Build the x = 0 window sorted.
+      window.clear();
+      for (int dx = 0; dx < k; ++dx) {
+        const int col = std::min(dx, w - 1);
+        for (int dy = 0; dy < k; ++dy) {
+          window.push_back(rows[static_cast<std::size_t>(dy)][col]);
+        }
+      }
+      std::sort(window.begin(), window.end());
+      float* out_row = out.row(y, c).data();
+      out_row[0] = window[mid];
+      for (int x = 1; x < w; ++x) {
+        // Slide: column x-1 leaves, column x+k-1 (clamped) enters. Each
+        // leave/enter pair is one replace-and-rotate (a single short
+        // memmove) rather than a separate erase + insert.
+        const int col_out = x - 1;
+        const int col_in = std::min(x + k - 1, w - 1);
+        for (int dy = 0; dy < k; ++dy) {
+          const float leave = rows[static_cast<std::size_t>(dy)][col_out];
+          const float enter = rows[static_cast<std::size_t>(dy)][col_in];
+          const auto pos =
+              std::lower_bound(window.begin(), window.end(), leave);
+          if (enter >= leave) {
+            const auto dst =
+                std::lower_bound(pos + 1, window.end(), enter);
+            std::move(pos + 1, dst, pos);
+            *(dst - 1) = enter;
+          } else {
+            const auto dst = std::lower_bound(window.begin(), pos, enter);
+            std::move_backward(dst, pos, pos + 1);
+            *dst = enter;
+          }
+        }
+        out_row[x] = window[mid];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Image rank_filter(const Image& img, int k, RankOp op) {
   DECAM_SPAN("imaging/rank_filter");
   DECAM_REQUIRE(!img.empty(), "rank_filter of empty image");
   DECAM_REQUIRE(k >= 1, "window size must be >= 1");
+  if (k == 1) return img;  // 1x1 window: identity for min/median/max
   Image out(img.width(), img.height(), img.channels());
-  std::vector<float> window;
-  window.reserve(static_cast<std::size_t>(k) * k);
-  for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
-        window.clear();
-        for (int dy = 0; dy < k; ++dy) {
-          for (int dx = 0; dx < k; ++dx) {
-            window.push_back(img.at_clamped(x + dx, y + dy, c));
-          }
-        }
-        float value = 0.0f;
-        switch (op) {
-          case RankOp::Min:
-            value = *std::min_element(window.begin(), window.end());
-            break;
-          case RankOp::Max:
-            value = *std::max_element(window.begin(), window.end());
-            break;
-          case RankOp::Median: {
-            auto mid = window.begin() + window.size() / 2;
-            std::nth_element(window.begin(), mid, window.end());
-            value = *mid;
-            break;
-          }
-        }
-        out.at(x, y, c) = value;
-      }
-    }
+  switch (op) {
+    case RankOp::Min:
+      rank_min_max(img, k, MinOp{}, out);
+      break;
+    case RankOp::Max:
+      rank_min_max(img, k, MaxOp{}, out);
+      break;
+    case RankOp::Median:
+      rank_median(img, k, out);
+      break;
   }
   return out;
 }
@@ -49,31 +194,61 @@ Image rank_filter(const Image& img, int k, RankOp op) {
 namespace {
 
 // Horizontal then vertical pass with an arbitrary normalised 1-D kernel.
+//
+// Accumulator policy (see filter.h): per output sample, taps are multiplied
+// and summed in DOUBLE precision in ascending tap order, and the total is
+// truncated to float once. Both passes read from edge-padded contiguous
+// scanlines (horizontal: an explicit padded copy of the row; vertical: a
+// clamped row pointer), so the inner loops are branch-free — the arithmetic
+// sequence per pixel is exactly the one the original at_clamped formulation
+// produced, keeping this path bit-compatible with it.
 Image separable_convolve(const Image& img, const std::vector<float>& kernel) {
   const int radius = static_cast<int>(kernel.size() / 2);
-  Image mid(img.width(), img.height(), img.channels());
+  const int w = img.width();
+  const int h = img.height();
+  const int taps = static_cast<int>(kernel.size());
+
+  Image mid(w, h, img.channels());
+  std::vector<float> pad(static_cast<std::size_t>(w + 2 * radius));
   for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
+    for (int y = 0; y < h; ++y) {
+      const float* row = img.row(y, c).data();
+      std::fill(pad.begin(), pad.begin() + radius, row[0]);
+      std::copy(row, row + w, pad.begin() + radius);
+      std::fill(pad.begin() + radius + w, pad.end(), row[w - 1]);
+      float* mid_row = mid.row(y, c).data();
+      for (int x = 0; x < w; ++x) {
         double acc = 0.0;
-        for (int i = -radius; i <= radius; ++i) {
-          acc += kernel[static_cast<std::size_t>(i + radius)] *
-                 img.at_clamped(x + i, y, c);
+        const float* in = pad.data() + x;
+        for (int i = 0; i < taps; ++i) {
+          // float product, double accumulate — the exact arithmetic the
+          // original per-pixel at_clamped formulation performed, so the
+          // scanline rewrite stays bit-compatible (imaging/filter.h).
+          acc += kernel[static_cast<std::size_t>(i)] * in[i];
         }
-        mid.at(x, y, c) = static_cast<float>(acc);
+        mid_row[x] = static_cast<float>(acc);
       }
     }
   }
-  Image out(img.width(), img.height(), img.channels());
+
+  Image out(w, h, img.channels());
+  std::vector<double> acc(static_cast<std::size_t>(w));
   for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
-        double acc = 0.0;
-        for (int i = -radius; i <= radius; ++i) {
-          acc += kernel[static_cast<std::size_t>(i + radius)] *
-                 mid.at_clamped(x, y + i, c);
+    for (int y = 0; y < h; ++y) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int i = 0; i < taps; ++i) {
+        const float kw = kernel[static_cast<std::size_t>(i)];
+        const float* mid_row =
+            mid.row(std::clamp(y + i - radius, 0, h - 1), c).data();
+        for (int x = 0; x < w; ++x) {
+          // Same bit-compatibility contract as the horizontal pass: float
+          // product, double accumulate, taps in ascending offset order.
+          acc[static_cast<std::size_t>(x)] += kw * mid_row[x];
         }
-        out.at(x, y, c) = static_cast<float>(acc);
+      }
+      float* out_row = out.row(y, c).data();
+      for (int x = 0; x < w; ++x) {
+        out_row[x] = static_cast<float>(acc[static_cast<std::size_t>(x)]);
       }
     }
   }
@@ -85,8 +260,66 @@ Image separable_convolve(const Image& img, const std::vector<float>& kernel) {
 Image box_blur(const Image& img, int k) {
   DECAM_SPAN("imaging/box_blur");
   DECAM_REQUIRE(k >= 1 && k % 2 == 1, "box blur needs odd window size");
-  std::vector<float> kernel(static_cast<std::size_t>(k), 1.0f / k);
-  return separable_convolve(img, kernel);
+  if (k == 1) return img;
+  // Running-sum box: the window mean is maintained incrementally (add the
+  // entering sample, subtract the leaving one), making the cost O(1) per
+  // pixel for any k. The double running sum re-associates the addition
+  // order relative to the per-window tap sum, so outputs may differ from
+  // the dense formulation in the last float ulp (within the documented
+  // 1e-6-per-255 tolerance; see filter.h).
+  const int radius = (k - 1) / 2;
+  const double inv_k = 1.0 / k;
+  const int w = img.width();
+  const int h = img.height();
+
+  Image mid(w, h, img.channels());
+  std::vector<float> pad(static_cast<std::size_t>(w + 2 * radius));
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      const float* row = img.row(y, c).data();
+      std::fill(pad.begin(), pad.begin() + radius, row[0]);
+      std::copy(row, row + w, pad.begin() + radius);
+      std::fill(pad.begin() + radius + w, pad.end(), row[w - 1]);
+      float* mid_row = mid.row(y, c).data();
+      double sum = 0.0;
+      for (int i = 0; i < k; ++i) sum += pad[static_cast<std::size_t>(i)];
+      mid_row[0] = static_cast<float>(sum * inv_k);
+      for (int x = 1; x < w; ++x) {
+        sum += pad[static_cast<std::size_t>(x + k - 1)] -
+               pad[static_cast<std::size_t>(x - 1)];
+        mid_row[x] = static_cast<float>(sum * inv_k);
+      }
+    }
+  }
+
+  Image out(w, h, img.channels());
+  std::vector<double> acc(static_cast<std::size_t>(w));
+  auto mid_row = [&](int y, int c) {
+    return mid.row(std::clamp(y, 0, h - 1), c).data();
+  };
+  for (int c = 0; c < img.channels(); ++c) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (int i = -radius; i <= radius; ++i) {
+      const float* row = mid_row(i, c);
+      for (int x = 0; x < w; ++x) acc[static_cast<std::size_t>(x)] += row[x];
+    }
+    for (int y = 0; y < h; ++y) {
+      float* out_row = out.row(y, c).data();
+      for (int x = 0; x < w; ++x) {
+        out_row[x] =
+            static_cast<float>(acc[static_cast<std::size_t>(x)] * inv_k);
+      }
+      if (y + 1 < h) {
+        const float* enter = mid_row(y + 1 + radius, c);
+        const float* leave = mid_row(y - radius, c);
+        for (int x = 0; x < w; ++x) {
+          acc[static_cast<std::size_t>(x)] += static_cast<double>(enter[x]) -
+                                              leave[x];
+        }
+      }
+    }
+  }
+  return out;
 }
 
 Image gaussian_blur(const Image& img, double sigma) {

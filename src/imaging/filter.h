@@ -8,6 +8,18 @@
 // scalers), window anchored at the top-left as in erode/dilate with an
 // even-sized structuring element — a 2x2 window at (x, y) covers
 // {x, x+1} x {y, y+1}.
+//
+// Accumulator policy: every weighted filter accumulates in double and
+// truncates to float exactly once per output pixel. For the separable
+// convolutions (gaussian_blur) the per-pixel sequence of operations —
+// float tap-times-sample products, applied in ascending offset order,
+// accumulated in double, one final narrowing cast — is part of the
+// contract: rewrites may change memory traversal but must keep it, so
+// outputs stay bit-identical across implementations. Rank filters select an
+// actual input sample and are bit-exact by construction. box_blur uses a
+// running sum (O(1) per pixel regardless of k), which re-associates the
+// additions; its outputs may differ from the naive sum by a last-ulp
+// rounding step, i.e. a max abs error on the order of 1e-6 of full scale.
 #pragma once
 
 #include "imaging/image.h"

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
 #include <numbers>
+#include <tuple>
+
+#include "obs/metrics.h"
 
 namespace decam {
 
@@ -37,42 +44,62 @@ double lanczos4_weight(double t) {
 
 namespace {
 
-// Generic windowed-kernel table: fixed support, no anti-alias widening.
-KernelTable windowed_table(int in_size, int out_size, int support,
-                           double (*kernel)(double)) {
+// Appends one output sample's tap list to the flattened table: sorts by
+// source index, coalesces duplicates produced by border clamping (one entry
+// per source index, weights summed), and checks the partition-of-unity
+// invariant survives the merge.
+void push_row(KernelTable& table, std::vector<Tap>& row) {
+  DECAM_ASSERT(!row.empty());
+  std::sort(row.begin(), row.end(),
+            [](const Tap& a, const Tap& b) { return a.index < b.index; });
+  std::size_t w_idx = 0;
+  for (std::size_t r = 1; r < row.size(); ++r) {
+    if (row[r].index == row[w_idx].index) {
+      row[w_idx].weight += row[r].weight;
+    } else {
+      row[++w_idx] = row[r];
+    }
+  }
+  row.resize(w_idx + 1);
+  double sum = 0.0;
+  for (const Tap& tap : row) sum += tap.weight;
+  DECAM_ASSERT(std::fabs(sum - 1.0) < 1e-4);
+  table.taps.insert(table.taps.end(), row.begin(), row.end());
+  table.offsets.push_back(static_cast<int>(table.taps.size()));
+}
+
+KernelTable begin_table(int in_size, int out_size, int taps_guess) {
   KernelTable table;
   table.in_size = in_size;
   table.out_size = out_size;
-  table.taps.resize(static_cast<std::size_t>(out_size));
+  table.offsets.reserve(static_cast<std::size_t>(out_size) + 1);
+  table.offsets.push_back(0);
+  table.taps.reserve(static_cast<std::size_t>(out_size) * taps_guess);
+  return table;
+}
+
+// Generic windowed-kernel table: fixed support, no anti-alias widening.
+KernelTable windowed_table(int in_size, int out_size, int support,
+                           double (*kernel)(double)) {
+  KernelTable table = begin_table(in_size, out_size, 2 * support);
   const double scale = static_cast<double>(in_size) / out_size;
+  std::vector<Tap> row;
+  row.reserve(static_cast<std::size_t>(2 * support));
   for (int o = 0; o < out_size; ++o) {
     const double center = (o + 0.5) * scale - 0.5;
     const int first = static_cast<int>(std::floor(center)) - support + 1;
-    auto& taps = table.taps[static_cast<std::size_t>(o)];
-    taps.reserve(static_cast<std::size_t>(2 * support));
+    row.clear();
     double sum = 0.0;
     for (int i = first; i < first + 2 * support; ++i) {
       const double w = kernel(center - i);
       if (w == 0.0) continue;
       const int clamped = std::clamp(i, 0, in_size - 1);
-      taps.push_back({clamped, static_cast<float>(w)});
+      row.push_back({clamped, static_cast<float>(w)});
       sum += w;
     }
-    DECAM_ASSERT(!taps.empty() && sum > 0.0);
-    for (Tap& tap : taps) tap.weight = static_cast<float>(tap.weight / sum);
-    // Merge duplicate indices produced by border clamping so the table is a
-    // well-formed sparse operator (one entry per source index).
-    std::sort(taps.begin(), taps.end(),
-              [](const Tap& a, const Tap& b) { return a.index < b.index; });
-    std::size_t w_idx = 0;
-    for (std::size_t r = 1; r < taps.size(); ++r) {
-      if (taps[r].index == taps[w_idx].index) {
-        taps[w_idx].weight += taps[r].weight;
-      } else {
-        taps[++w_idx] = taps[r];
-      }
-    }
-    taps.resize(w_idx + 1);
+    DECAM_ASSERT(!row.empty() && sum > 0.0);
+    for (Tap& tap : row) tap.weight = static_cast<float>(tap.weight / sum);
+    push_row(table, row);
   }
   return table;
 }
@@ -83,34 +110,33 @@ double linear_weight(double t) {
 }
 
 KernelTable nearest_table(int in_size, int out_size) {
-  KernelTable table;
-  table.in_size = in_size;
-  table.out_size = out_size;
-  table.taps.resize(static_cast<std::size_t>(out_size));
+  KernelTable table = begin_table(in_size, out_size, 1);
   const double scale = static_cast<double>(in_size) / out_size;
+  std::vector<Tap> row(1);
   for (int o = 0; o < out_size; ++o) {
     // cv::resize INTER_NEAREST: sx = floor(dx * scale).
     const int src = std::clamp(static_cast<int>(std::floor(o * scale)), 0,
                                in_size - 1);
-    table.taps[static_cast<std::size_t>(o)] = {{src, 1.0f}};
+    row[0] = {src, 1.0f};
+    push_row(table, row);
+    row.resize(1);
   }
   return table;
 }
 
 KernelTable area_table(int in_size, int out_size) {
-  KernelTable table;
-  table.in_size = in_size;
-  table.out_size = out_size;
-  table.taps.resize(static_cast<std::size_t>(out_size));
   const double scale = static_cast<double>(in_size) / out_size;
   if (out_size >= in_size) {
     // Upscaling: INTER_AREA degenerates to bilinear, as in OpenCV.
     return windowed_table(in_size, out_size, 1, linear_weight);
   }
+  KernelTable table =
+      begin_table(in_size, out_size, static_cast<int>(scale) + 2);
+  std::vector<Tap> row;
   for (int o = 0; o < out_size; ++o) {
     const double lo = o * scale;
     const double hi = (o + 1) * scale;
-    auto& taps = table.taps[static_cast<std::size_t>(o)];
+    row.clear();
     const int first = static_cast<int>(std::floor(lo));
     const int last = std::min(static_cast<int>(std::ceil(hi)), in_size);
     double sum = 0.0;
@@ -118,17 +144,33 @@ KernelTable area_table(int in_size, int out_size) {
       const double cover =
           std::min<double>(hi, i + 1) - std::max<double>(lo, i);
       if (cover <= 0.0) continue;
-      taps.push_back({std::clamp(i, 0, in_size - 1),
-                      static_cast<float>(cover)});
+      row.push_back({std::clamp(i, 0, in_size - 1),
+                     static_cast<float>(cover)});
       sum += cover;
     }
-    DECAM_ASSERT(!taps.empty() && sum > 0.0);
-    for (Tap& tap : taps) tap.weight = static_cast<float>(tap.weight / sum);
+    DECAM_ASSERT(!row.empty() && sum > 0.0);
+    for (Tap& tap : row) tap.weight = static_cast<float>(tap.weight / sum);
+    push_row(table, row);
   }
   return table;
 }
 
 }  // namespace
+
+KernelTable KernelTable::from_rows(int in_size,
+                                   std::span<const std::vector<Tap>> rows) {
+  KernelTable table;
+  table.in_size = in_size;
+  table.out_size = static_cast<int>(rows.size());
+  table.offsets.reserve(rows.size() + 1);
+  table.offsets.push_back(0);
+  for (const std::vector<Tap>& row : rows) {
+    DECAM_ASSERT(!row.empty());
+    table.taps.insert(table.taps.end(), row.begin(), row.end());
+    table.offsets.push_back(static_cast<int>(table.taps.size()));
+  }
+  return table;
+}
 
 KernelTable make_kernel_table(int in_size, int out_size, ScaleAlgo algo) {
   DECAM_REQUIRE(in_size > 0 && out_size > 0, "sizes must be positive");
@@ -147,13 +189,125 @@ KernelTable make_kernel_table(int in_size, int out_size, ScaleAlgo algo) {
   DECAM_ASSERT(false);
 }
 
+// ----------------------------------------------------------------- cache --
+
+namespace {
+
+// LRU cache of built tables. Battery/pipeline runs resize every image in a
+// dataset with the same few geometries; 64 entries comfortably covers a
+// sweep over all algorithms at several sizes while bounding memory (a table
+// is ~out_size * support * 8 bytes).
+class KernelTableCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  std::shared_ptr<const KernelTable> get(int in_size, int out_size,
+                                         ScaleAlgo algo) {
+    static auto& registry = obs::MetricsRegistry::instance();
+    static auto& hit_counter = registry.counter("kernel_cache/hits");
+    static auto& miss_counter = registry.counter("kernel_cache/misses");
+    const Key key{in_size, out_size, algo};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        // Move to the front of the recency list.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++hits_;
+        hit_counter.add();
+        return it->second.table;
+      }
+      ++misses_;
+      miss_counter.add();
+    }
+    // Build outside the lock: table construction is the expensive part and
+    // two threads racing on the same key just build the same table twice
+    // (both results are identical; the second insert wins harmlessly).
+    auto table = std::make_shared<const KernelTable>(
+        make_kernel_table(in_size, out_size, algo));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.table;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{table, lru_.begin()});
+    if (map_.size() > kCapacity) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return table;
+  }
+
+  KernelCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, map_.size(), kCapacity};
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  using Key = std::tuple<int, int, ScaleAlgo>;
+  struct Entry {
+    std::shared_ptr<const KernelTable> table;
+    std::list<Key>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> map_;
+  std::list<Key> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+KernelTableCache& table_cache() {
+  static KernelTableCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const KernelTable> get_kernel_table(int in_size, int out_size,
+                                                    ScaleAlgo algo) {
+  DECAM_REQUIRE(in_size > 0 && out_size > 0, "sizes must be positive");
+  return table_cache().get(in_size, out_size, algo);
+}
+
+KernelCacheStats kernel_cache_stats() { return table_cache().stats(); }
+
+void clear_kernel_cache() { table_cache().clear(); }
+
 void apply_kernel(const KernelTable& table, const float* in, int in_stride,
                   float* out, int out_stride) {
+  const Tap* tap = table.taps.data();
+  if (in_stride == 1 && out_stride == 1) {
+    // Contiguous fast path — the layout both resize passes use. Taps of one
+    // output sample have consecutive source indices except where border
+    // clamping coalesced them, so the inner loop reads `in` sequentially.
+    for (int o = 0; o < table.out_size; ++o) {
+      const Tap* end =
+          table.taps.data() + table.offsets[static_cast<std::size_t>(o) + 1];
+      double acc = 0.0;
+      for (; tap != end; ++tap) {
+        acc += static_cast<double>(tap->weight) * in[tap->index];
+      }
+      out[o] = static_cast<float>(acc);
+    }
+    return;
+  }
   for (int o = 0; o < table.out_size; ++o) {
+    const Tap* end =
+        table.taps.data() + table.offsets[static_cast<std::size_t>(o) + 1];
     double acc = 0.0;
-    for (const Tap& tap : table.taps[static_cast<std::size_t>(o)]) {
-      acc += static_cast<double>(tap.weight) *
-             in[static_cast<std::size_t>(tap.index) * in_stride];
+    for (; tap != end; ++tap) {
+      acc += static_cast<double>(tap->weight) *
+             in[static_cast<std::size_t>(tap->index) * in_stride];
     }
     out[static_cast<std::size_t>(o) * out_stride] = static_cast<float>(acc);
   }

@@ -12,8 +12,19 @@
 // support when downscaling (no anti-aliasing) for Nearest/Bilinear/Bicubic/
 // Lanczos4, matching cv::resize. Only ScaleAlgo::Area averages the full
 // source footprint; it is the "robust" scaler of Quiring et al.
+//
+// Storage: tables are flattened into one contiguous Tap array plus a row
+// offset index (CSR layout). The resize inner loops walk `taps` linearly, so
+// a whole table is a handful of cache lines instead of one heap allocation
+// per output sample. Border-clamped duplicate taps are coalesced at build
+// time (one entry per source index, weights summed), which both keeps the
+// table a well-formed sparse operator and makes border rows cheaper to
+// apply; per-row weights always sum to 1 (asserted at build time).
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/error.h"
@@ -37,18 +48,54 @@ struct Tap {
   float weight;  // kernel weight; weights of one output sample sum to 1
 };
 
-/// Tap lists for every output index of a 1-D resample.
+/// Tap lists for every output index of a 1-D resample, flattened: the taps
+/// of output sample o live at taps[offsets[o] .. offsets[o+1]).
 struct KernelTable {
   int in_size = 0;
   int out_size = 0;
-  // taps[o] lists the source samples blended into output sample o.
-  std::vector<std::vector<Tap>> taps;
+  std::vector<int> offsets;  // out_size + 1 row boundaries into `taps`
+  std::vector<Tap> taps;     // all rows, back to back, index-sorted per row
+
+  /// Taps of output sample `o`.
+  std::span<const Tap> row(int o) const {
+    DECAM_ASSERT(o >= 0 && o < out_size);
+    return {taps.data() + offsets[static_cast<std::size_t>(o)],
+            taps.data() + offsets[static_cast<std::size_t>(o) + 1]};
+  }
+  int row_taps(int o) const {
+    return offsets[static_cast<std::size_t>(o) + 1] -
+           offsets[static_cast<std::size_t>(o)];
+  }
+
+  /// Assembles a table from per-row tap lists (tests, hand-built operators).
+  static KernelTable from_rows(int in_size,
+                               std::span<const std::vector<Tap>> rows);
 };
 
 /// Builds the tap table for resampling a length-`in_size` signal to
 /// `out_size` samples with `algo`. Throws std::invalid_argument for
-/// non-positive sizes.
+/// non-positive sizes. Unconditionally builds: see get_kernel_table for the
+/// cached variant the resize hot path uses.
 KernelTable make_kernel_table(int in_size, int out_size, ScaleAlgo algo);
+
+/// Shared, immutable table from a process-wide thread-safe LRU cache keyed
+/// by (in_size, out_size, algo). Dataset runs resize every image with the
+/// same handful of geometries, so table construction amortises to a mutex
+/// hop + map lookup. Entries are shared_ptr so an eviction can never
+/// invalidate a table a resize in flight still holds.
+std::shared_ptr<const KernelTable> get_kernel_table(int in_size, int out_size,
+                                                    ScaleAlgo algo);
+
+/// Kernel-table cache introspection (tests / stats reporting).
+struct KernelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+KernelCacheStats kernel_cache_stats();
+/// Drops every cached table (tests; in-flight shared_ptrs stay valid).
+void clear_kernel_cache();
 
 /// Kernel profile functions (exposed for tests / analysis).
 /// Keys bicubic with a = -0.75 evaluated at distance |t| <= 2.

@@ -1,5 +1,6 @@
 #include "imaging/scale.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "obs/span.h"
@@ -11,23 +12,59 @@ Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
   DECAM_REQUIRE(!src.empty(), "resize of empty image");
   DECAM_REQUIRE(out_width > 0 && out_height > 0,
                 "output dimensions must be positive");
-  const KernelTable horiz = make_kernel_table(src.width(), out_width, algo);
-  const KernelTable vert = make_kernel_table(src.height(), out_height, algo);
+  const auto horiz = get_kernel_table(src.width(), out_width, algo);
+  const auto vert = get_kernel_table(src.height(), out_height, algo);
 
-  // Horizontal pass into an intermediate out_width x src.height buffer,
-  // then vertical pass. Separability holds exactly for all our kernels.
+  // Horizontal pass into an intermediate out_width x src.height buffer.
+  // Separability holds exactly for all our kernels.
   Image mid(out_width, src.height(), src.channels());
   for (int c = 0; c < src.channels(); ++c) {
     for (int y = 0; y < src.height(); ++y) {
-      apply_kernel(horiz, src.row(y, c).data(), 1, mid.row(y, c).data(), 1);
+      apply_kernel(*horiz, src.row(y, c).data(), 1, mid.row(y, c).data(), 1);
     }
   }
+
+  // Vertical pass, row-major: each output row is a weighted sum of its
+  // contributing intermediate rows, accumulated across a contiguous double
+  // buffer. This walks `mid` by whole rows (sequential cache lines) instead
+  // of strided columns, and keeps the per-pixel arithmetic — double
+  // accumulation over taps in ascending source order, one final cast —
+  // identical to the column-walk formulation, so outputs are bit-exact
+  // either way. The first tap assigns (0 + w*v == w*v exactly) and the last
+  // tap fuses the cast, so a support-n row costs n row sweeps, not n + 2.
   Image out(out_width, out_height, src.channels());
+  std::vector<double> acc(static_cast<std::size_t>(out_width));
+  double* acc_p = acc.data();
   for (int c = 0; c < src.channels(); ++c) {
-    float* out_plane = out.plane(c).data();
-    const float* mid_plane = mid.plane(c).data();
-    for (int x = 0; x < out_width; ++x) {
-      apply_kernel(vert, mid_plane + x, out_width, out_plane + x, out_width);
+    for (int o = 0; o < out_height; ++o) {
+      const auto taps = vert->row(o);
+      const std::size_t n = taps.size();
+      float* out_row = out.row(o, c).data();
+      if (n == 1) {
+        const double w = taps[0].weight;
+        const float* mid_row = mid.row(taps[0].index, c).data();
+        for (int x = 0; x < out_width; ++x) {
+          out_row[x] = static_cast<float>(w * mid_row[x]);
+        }
+        continue;
+      }
+      {
+        const double w = taps[0].weight;
+        const float* mid_row = mid.row(taps[0].index, c).data();
+        for (int x = 0; x < out_width; ++x) acc_p[x] = w * mid_row[x];
+      }
+      for (std::size_t t = 1; t + 1 < n; ++t) {
+        const double w = taps[t].weight;
+        const float* mid_row = mid.row(taps[t].index, c).data();
+        for (int x = 0; x < out_width; ++x) acc_p[x] += w * mid_row[x];
+      }
+      {
+        const double w = taps[n - 1].weight;
+        const float* mid_row = mid.row(taps[n - 1].index, c).data();
+        for (int x = 0; x < out_width; ++x) {
+          out_row[x] = static_cast<float>(acc_p[x] + w * mid_row[x]);
+        }
+      }
     }
   }
   return out;

@@ -1,0 +1,259 @@
+// Golden parity tests: the optimized kernels in src/imaging/ (van Herk
+// rank filters, running-sum box blur, scanline convolution, row-major
+// flattened-table resize) against the retained naive reference
+// implementations in reference_kernels.h.
+//
+// Tolerance policy (see imaging/filter.h): rank filters select actual input
+// samples and must match bit-for-bit; gaussian_blur keeps the exact
+// per-pixel arithmetic sequence and must also match bit-for-bit; box_blur
+// and resize may re-associate double additions, so they get a max-abs-diff
+// budget of 1e-6 of full scale (inputs live in [0, 255]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/rng.h"
+#include "imaging/filter.h"
+#include "imaging/kernels.h"
+#include "imaging/scale.h"
+#include "reference_kernels.h"
+
+namespace decam {
+namespace {
+
+constexpr float kFullScaleTol = 255.0f * 1e-6f;
+
+Image random_image(int w, int h, int c, std::uint64_t seed) {
+  data::Rng rng(seed);
+  Image img(w, h, c);
+  for (int ch = 0; ch < c; ++ch) {
+    for (float& v : img.plane(ch)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+void expect_identical(const Image& got, const Image& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.width(), want.width()) << what;
+  ASSERT_EQ(got.height(), want.height()) << what;
+  ASSERT_EQ(got.channels(), want.channels()) << what;
+  for (int c = 0; c < want.channels(); ++c) {
+    for (int y = 0; y < want.height(); ++y) {
+      for (int x = 0; x < want.width(); ++x) {
+        ASSERT_EQ(got.at(x, y, c), want.at(x, y, c))
+            << what << " at (" << x << ", " << y << ", " << c << ")";
+      }
+    }
+  }
+}
+
+void expect_close(const Image& got, const Image& want, float tol,
+                  const std::string& what) {
+  ASSERT_EQ(got.width(), want.width()) << what;
+  ASSERT_EQ(got.height(), want.height()) << what;
+  ASSERT_EQ(got.channels(), want.channels()) << what;
+  for (int c = 0; c < want.channels(); ++c) {
+    for (int y = 0; y < want.height(); ++y) {
+      for (int x = 0; x < want.width(); ++x) {
+        const float diff = std::fabs(got.at(x, y, c) - want.at(x, y, c));
+        ASSERT_LE(diff, tol)
+            << what << " at (" << x << ", " << y << ", " << c << ")";
+      }
+    }
+  }
+}
+
+struct Shape {
+  int w, h, c;
+};
+
+// Odd and even k, k larger than either dimension, 1- and 3-channel images,
+// and degenerate 1xN / Nx1 strips.
+const Shape kRankShapes[] = {{31, 17, 1}, {16, 16, 3}, {1, 13, 1},
+                             {13, 1, 3},  {5, 5, 1}};
+const int kRankKs[] = {1, 2, 3, 4, 5, 9};
+
+TEST(RankFilterParity, MinMaxMedianMatchReferenceExactly) {
+  for (const Shape& s : kRankShapes) {
+    const Image img = random_image(s.w, s.h, s.c, 1000u + s.w * 7u + s.h);
+    for (const int k : kRankKs) {
+      for (const RankOp op : {RankOp::Min, RankOp::Median, RankOp::Max}) {
+        const std::string what = std::to_string(s.w) + "x" +
+                                 std::to_string(s.h) + "x" +
+                                 std::to_string(s.c) + " k=" +
+                                 std::to_string(k) + " op=" +
+                                 std::to_string(static_cast<int>(op));
+        expect_identical(rank_filter(img, k, op),
+                         testref::rank_filter(img, k, op), what);
+      }
+    }
+  }
+}
+
+TEST(RankFilterParity, ConstantImageIsFixedPoint) {
+  Image img(9, 6, 1);
+  for (float& v : img.plane(0)) v = 42.5f;
+  for (const int k : {2, 3, 9}) {
+    for (const RankOp op : {RankOp::Min, RankOp::Median, RankOp::Max}) {
+      const Image out = rank_filter(img, k, op);
+      for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x) {
+          ASSERT_EQ(out.at(x, y, 0), 42.5f) << "k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(GaussianBlurParity, ScanlineConvolveIsBitCompatible) {
+  const Image img = random_image(25, 19, 3, 77);
+  for (const double sigma : {0.8, 1.5, 3.0}) {
+    expect_identical(gaussian_blur(img, sigma),
+                     testref::gaussian_blur(img, sigma),
+                     "sigma=" + std::to_string(sigma));
+  }
+  // Degenerate strips: every read is border-clamped in one direction.
+  const Image strip_h = random_image(13, 1, 1, 78);
+  const Image strip_v = random_image(1, 13, 1, 79);
+  expect_identical(gaussian_blur(strip_h, 1.5),
+                   testref::gaussian_blur(strip_h, 1.5), "13x1 sigma=1.5");
+  expect_identical(gaussian_blur(strip_v, 1.5),
+                   testref::gaussian_blur(strip_v, 1.5), "1x13 sigma=1.5");
+}
+
+TEST(BoxBlurParity, RunningSumWithinLastUlpBudget) {
+  const Shape shapes[] = {{31, 17, 3}, {1, 13, 1}, {13, 1, 1}, {4, 4, 1}};
+  for (const Shape& s : shapes) {
+    const Image img = random_image(s.w, s.h, s.c, 2000u + s.w);
+    for (const int k : {1, 3, 5, 9, 25}) {
+      expect_close(box_blur(img, k), testref::box_blur(img, k), kFullScaleTol,
+                   std::to_string(s.w) + "x" + std::to_string(s.h) +
+                       " box k=" + std::to_string(k));
+    }
+  }
+}
+
+struct ResizeCase {
+  int in_w, in_h, out_w, out_h, c;
+};
+
+TEST(ResizeParity, RowMajorPassMatchesColumnStridedReference) {
+  const ResizeCase cases[] = {
+      {37, 29, 11, 7, 3},   // downscale
+      {11, 7, 37, 29, 3},   // upscale
+      {23, 23, 23, 23, 1},  // identity geometry
+      {7, 3, 3, 7, 1},      // shrink one axis, grow the other
+      {2, 2, 64, 64, 1},    // heavy border clamping for wide kernels
+      {1, 13, 1, 5, 1},     // degenerate 1xN
+      {13, 1, 5, 1, 3},     // degenerate Nx1
+  };
+  for (const ResizeCase& rc : cases) {
+    const Image img =
+        random_image(rc.in_w, rc.in_h, rc.c, 3000u + rc.in_w * 13u + rc.out_w);
+    for (const ScaleAlgo algo :
+         {ScaleAlgo::Nearest, ScaleAlgo::Bilinear, ScaleAlgo::Bicubic,
+          ScaleAlgo::Area, ScaleAlgo::Lanczos4}) {
+      const std::string what = std::string(to_string(algo)) + " " +
+                               std::to_string(rc.in_w) + "x" +
+                               std::to_string(rc.in_h) + "->" +
+                               std::to_string(rc.out_w) + "x" +
+                               std::to_string(rc.out_h);
+      expect_close(resize(img, rc.out_w, rc.out_h, algo),
+                   testref::resize(img, rc.out_w, rc.out_h, algo),
+                   kFullScaleTol, what);
+    }
+  }
+}
+
+// Regression for extreme downscales: border clamping collapses many taps
+// onto the same source index; after build-time coalescing each row must
+// list strictly increasing indices and still partition unity.
+TEST(KernelTableCoalescing, ExtremeDownscaleRowsPartitionUnity) {
+  const std::pair<int, int> geometries[] = {{1024, 2}, {7, 3}, {1, 1}};
+  for (const auto& [in, out] : geometries) {
+    for (const ScaleAlgo algo :
+         {ScaleAlgo::Nearest, ScaleAlgo::Bilinear, ScaleAlgo::Bicubic,
+          ScaleAlgo::Area, ScaleAlgo::Lanczos4}) {
+      const KernelTable table = make_kernel_table(in, out, algo);
+      ASSERT_EQ(table.out_size, out);
+      for (int o = 0; o < out; ++o) {
+        const auto row = table.row(o);
+        ASSERT_FALSE(row.empty()) << to_string(algo);
+        double sum = 0.0;
+        for (std::size_t t = 0; t < row.size(); ++t) {
+          ASSERT_GE(row[t].index, 0);
+          ASSERT_LT(row[t].index, in);
+          if (t > 0) {
+            ASSERT_GT(row[t].index, row[t - 1].index)
+                << to_string(algo) << " " << in << "->" << out << " row " << o
+                << ": duplicate source index survived coalescing";
+          }
+          sum += row[t].weight;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-4)
+            << to_string(algo) << " " << in << "->" << out << " row " << o;
+      }
+    }
+  }
+}
+
+TEST(KernelTableCoalescing, ExtremeDownscalePreservesConstantImages) {
+  Image img(1024, 4, 1);
+  for (float& v : img.plane(0)) v = 200.0f;
+  for (const ScaleAlgo algo :
+       {ScaleAlgo::Nearest, ScaleAlgo::Bilinear, ScaleAlgo::Bicubic,
+        ScaleAlgo::Area, ScaleAlgo::Lanczos4}) {
+    const Image out = resize(img, 2, 2, algo);
+    for (int y = 0; y < 2; ++y) {
+      for (int x = 0; x < 2; ++x) {
+        EXPECT_NEAR(out.at(x, y, 0), 200.0f, 1e-3f) << to_string(algo);
+      }
+    }
+  }
+}
+
+TEST(KernelCache, HitsMissesAndSharing) {
+  clear_kernel_cache();
+  KernelCacheStats stats = kernel_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  const auto a = get_kernel_table(100, 50, ScaleAlgo::Bicubic);
+  const auto b = get_kernel_table(100, 50, ScaleAlgo::Bicubic);
+  EXPECT_EQ(a.get(), b.get()) << "same key must share one table";
+  const auto c = get_kernel_table(100, 50, ScaleAlgo::Bilinear);
+  EXPECT_NE(a.get(), c.get());
+
+  stats = kernel_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(KernelCache, EvictionBoundsEntriesAndKeepsTablesAlive) {
+  clear_kernel_cache();
+  const std::size_t capacity = kernel_cache_stats().capacity;
+  ASSERT_GT(capacity, 0u);
+  // Hold a shared_ptr across more distinct keys than the cache can keep:
+  // eviction must bound `entries` without invalidating in-flight tables.
+  const auto pinned = get_kernel_table(333, 111, ScaleAlgo::Bicubic);
+  for (std::size_t i = 0; i < capacity + 16; ++i) {
+    get_kernel_table(static_cast<int>(64 + i), 32, ScaleAlgo::Bilinear);
+  }
+  const KernelCacheStats stats = kernel_cache_stats();
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_EQ(pinned->in_size, 333);
+  EXPECT_EQ(pinned->out_size, 111);
+  EXPECT_EQ(pinned->row(0).size(),
+            static_cast<std::size_t>(pinned->row_taps(0)));
+  clear_kernel_cache();
+}
+
+}  // namespace
+}  // namespace decam

@@ -20,10 +20,11 @@ class KernelTableProperty : public ::testing::TestWithParam<AlgoSizes> {};
 TEST_P(KernelTableProperty, WeightsOfEachOutputSumToOne) {
   const auto [algo, in_size, out_size] = GetParam();
   const KernelTable table = make_kernel_table(in_size, out_size, algo);
-  ASSERT_EQ(table.taps.size(), static_cast<std::size_t>(out_size));
-  for (const auto& taps : table.taps) {
+  ASSERT_EQ(table.out_size, out_size);
+  ASSERT_EQ(table.offsets.size(), static_cast<std::size_t>(out_size) + 1);
+  for (int o = 0; o < table.out_size; ++o) {
     double sum = 0.0;
-    for (const Tap& tap : taps) sum += tap.weight;
+    for (const Tap& tap : table.row(o)) sum += tap.weight;
     EXPECT_NEAR(sum, 1.0, 1e-5);
   }
 }
@@ -31,7 +32,8 @@ TEST_P(KernelTableProperty, WeightsOfEachOutputSumToOne) {
 TEST_P(KernelTableProperty, TapIndicesAreValidAndUnique) {
   const auto [algo, in_size, out_size] = GetParam();
   const KernelTable table = make_kernel_table(in_size, out_size, algo);
-  for (const auto& taps : table.taps) {
+  for (int o = 0; o < table.out_size; ++o) {
+    const auto taps = table.row(o);
     ASSERT_FALSE(taps.empty());
     for (std::size_t i = 0; i < taps.size(); ++i) {
       EXPECT_GE(taps[i].index, 0);
@@ -40,6 +42,18 @@ TEST_P(KernelTableProperty, TapIndicesAreValidAndUnique) {
         EXPECT_LT(taps[i - 1].index, taps[i].index);
       }
     }
+  }
+}
+
+TEST_P(KernelTableProperty, FlattenedLayoutIsWellFormed) {
+  // The CSR invariants the resize inner loop depends on: offsets start at
+  // 0, end at taps.size(), and never decrease.
+  const auto [algo, in_size, out_size] = GetParam();
+  const KernelTable table = make_kernel_table(in_size, out_size, algo);
+  ASSERT_EQ(table.offsets.front(), 0);
+  ASSERT_EQ(table.offsets.back(), static_cast<int>(table.taps.size()));
+  for (std::size_t i = 1; i < table.offsets.size(); ++i) {
+    EXPECT_LT(table.offsets[i - 1], table.offsets[i]);  // no empty rows
   }
 }
 
@@ -69,15 +83,16 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(KernelTable, NearestMatchesOpenCvIndexing) {
   // cv::resize INTER_NEAREST picks src = floor(dst * in/out).
   const KernelTable table = make_kernel_table(8, 4, ScaleAlgo::Nearest);
-  EXPECT_EQ(table.taps[0][0].index, 0);
-  EXPECT_EQ(table.taps[1][0].index, 2);
-  EXPECT_EQ(table.taps[2][0].index, 4);
-  EXPECT_EQ(table.taps[3][0].index, 6);
+  EXPECT_EQ(table.row(0)[0].index, 0);
+  EXPECT_EQ(table.row(1)[0].index, 2);
+  EXPECT_EQ(table.row(2)[0].index, 4);
+  EXPECT_EQ(table.row(3)[0].index, 6);
 }
 
 TEST(KernelTable, NearestHasExactlyOneUnitTapPerOutput) {
   const KernelTable table = make_kernel_table(100, 37, ScaleAlgo::Nearest);
-  for (const auto& taps : table.taps) {
+  for (int o = 0; o < table.out_size; ++o) {
+    const auto taps = table.row(o);
     ASSERT_EQ(taps.size(), 1u);
     EXPECT_FLOAT_EQ(taps[0].weight, 1.0f);
   }
@@ -88,7 +103,7 @@ TEST(KernelTable, BilinearHalfScaleTouchesTwoNeighbours) {
   // output blends source samples 2o and 2o+1 with weight 1/2 each.
   const KernelTable table = make_kernel_table(8, 4, ScaleAlgo::Bilinear);
   for (int o = 0; o < 4; ++o) {
-    const auto& taps = table.taps[static_cast<std::size_t>(o)];
+    const auto taps = table.row(o);
     ASSERT_EQ(taps.size(), 2u);
     EXPECT_EQ(taps[0].index, 2 * o);
     EXPECT_EQ(taps[1].index, 2 * o + 1);
@@ -100,7 +115,7 @@ TEST(KernelTable, BilinearHalfScaleTouchesTwoNeighbours) {
 TEST(KernelTable, BilinearIdentityIsExact) {
   const KernelTable table = make_kernel_table(16, 16, ScaleAlgo::Bilinear);
   for (int o = 0; o < 16; ++o) {
-    const auto& taps = table.taps[static_cast<std::size_t>(o)];
+    const auto taps = table.row(o);
     ASSERT_EQ(taps.size(), 1u);
     EXPECT_EQ(taps[0].index, o);
     EXPECT_NEAR(taps[0].weight, 1.0f, 1e-6f);
@@ -112,13 +127,13 @@ TEST(KernelTable, NoAntiAliasingOnDownscale) {
   // touches <= 2 source samples per output, leaving the other samples free
   // for the attacker (cv::resize INTER_LINEAR behaves the same way).
   const KernelTable table = make_kernel_table(64, 16, ScaleAlgo::Bilinear);
-  for (const auto& taps : table.taps) {
-    EXPECT_LE(taps.size(), 2u);
+  for (int o = 0; o < table.out_size; ++o) {
+    EXPECT_LE(table.row(o).size(), 2u);
   }
   // INTER_AREA by contrast averages the whole 4-sample footprint.
   const KernelTable area = make_kernel_table(64, 16, ScaleAlgo::Area);
-  for (const auto& taps : area.taps) {
-    EXPECT_EQ(taps.size(), 4u);
+  for (int o = 0; o < area.out_size; ++o) {
+    EXPECT_EQ(area.row(o).size(), 4u);
   }
 }
 

@@ -89,11 +89,8 @@ TEST(QpOptimality, MatchesBruteForceOnTwoVariableProblems) {
   for (int trial = 0; trial < 12; ++trial) {
     // One constraint over two variables with random positive weights.
     const float w0 = static_cast<float>(rng.next_range(0.1, 0.9));
-    KernelTable table;
-    table.in_size = 2;
-    table.out_size = 1;
-    table.taps = {{{0, w0}, {1, 1.0f - w0}}};
-    const attack::CoeffMatrix C{std::move(table)};
+    const std::vector<std::vector<Tap>> rows = {{{0, w0}, {1, 1.0f - w0}}};
+    const attack::CoeffMatrix C{KernelTable::from_rows(2, rows)};
     const std::vector<double> s = {rng.next_range(0.0, 255.0),
                                    rng.next_range(0.0, 255.0)};
     const std::vector<double> t = {rng.next_range(0.0, 255.0)};
@@ -111,11 +108,9 @@ TEST(QpOptimality, MatchesBruteForceOnTwoVariableProblems) {
 
 TEST(QpOptimality, TwoOverlappingConstraintsStillNearOptimal) {
   // Rows sharing variable 1 (like adjacent bicubic rows).
-  KernelTable table;
-  table.in_size = 2;
-  table.out_size = 2;
-  table.taps = {{{0, 0.7f}, {1, 0.3f}}, {{0, 0.2f}, {1, 0.8f}}};
-  const attack::CoeffMatrix C{std::move(table)};
+  const std::vector<std::vector<Tap>> rows = {{{0, 0.7f}, {1, 0.3f}},
+                                              {{0, 0.2f}, {1, 0.8f}}};
+  const attack::CoeffMatrix C{KernelTable::from_rows(2, rows)};
   const std::vector<double> s = {60.0, 200.0};
   const std::vector<double> t = {180.0, 90.0};
   attack::QpOptions options;
