@@ -7,6 +7,7 @@
 // hosts of the same class.
 //
 //   kernel_bench [--quick] [--json] [--out FILE] [--filter SUBSTR]
+//                [--regress-against FILE]
 //   kernel_bench --validate FILE
 //
 // --json writes the `decam-kernel-bench-v1` document (default
@@ -14,6 +15,16 @@
 // trail) and re-reads it through the schema validator before exiting, so a
 // malformed file can never be written silently. --validate checks an
 // existing file and exits non-zero on violation (the bench_smoke ctest).
+//
+// --regress-against compares the run just measured with a baseline document
+// (normally the committed BENCH_kernels.json) and exits non-zero if any
+// benchmark present in both runs is more than 2x slower in ns/pixel. The
+// factor is deliberately loose: it is a tripwire for accidental algorithmic
+// regressions (a dropped fast path, an O(k) loop reappearing), not a
+// noise-level performance gate, and it must tolerate the quick run's
+// smaller inputs and a different host class. Spectrum benchmarks therefore
+// use the same fixed geometries in quick and full modes — they are the
+// entries whose regime (radix-4 vs Bluestein) depends on the exact size.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,6 +50,7 @@ struct Options {
   std::string out = "BENCH_kernels.json";
   std::string filter;
   std::string validate;  // non-empty: validate this file and exit
+  std::string regress;   // non-empty: compare against this baseline JSON
 };
 
 Options parse(int argc, char** argv) {
@@ -54,10 +66,14 @@ Options parse(int argc, char** argv) {
       opt.filter = argv[++i];
     } else if (std::strcmp(argv[i], "--validate") == 0 && i + 1 < argc) {
       opt.validate = argv[++i];
+    } else if (std::strcmp(argv[i], "--regress-against") == 0 &&
+               i + 1 < argc) {
+      opt.regress = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--json] [--out FILE] "
-                   "[--filter SUBSTR] | --validate FILE\n",
+                   "[--filter SUBSTR] [--regress-against FILE] | "
+                   "--validate FILE\n",
                    argv[0]);
       std::exit(2);
     }
@@ -81,6 +97,59 @@ int validate_file(const std::string& path) {
   }
   std::printf("%s: valid decam-kernel-bench-v1 document\n", path.c_str());
   return 0;
+}
+
+// Compares the freshly measured `results` against the baseline document at
+// `path`. Only names present in both runs are compared (quick mode skips
+// nothing today, but baselines may gain entries this binary no longer
+// produces, and vice versa). Returns the number of regressions.
+int check_regressions(const std::vector<BenchResult>& results,
+                      const std::string& path) {
+  constexpr double kFactor = 2.0;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "kernel_bench: cannot open baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string error = bench::micro::validate_bench_json(text.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "kernel_bench: baseline %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  bench::micro::JsonValue root;
+  bench::micro::JsonParser(text.str()).parse(root);  // validated above
+  const bench::micro::JsonValue& baseline = *root.find("benchmarks");
+
+  std::printf("\nregression check vs %s (fail above %.1fx ns/px):\n",
+              path.c_str(), kFactor);
+  int regressions = 0;
+  int compared = 0;
+  for (const BenchResult& r : results) {
+    const bench::micro::JsonValue* entry = nullptr;
+    for (const bench::micro::JsonValue& b : baseline.array) {
+      if (b.find("name")->string == r.name) {
+        entry = &b;
+        break;
+      }
+    }
+    if (entry == nullptr) continue;
+    ++compared;
+    const double base_ns = entry->find("ns_per_pixel")->number;
+    const double ratio = r.ns_per_pixel / base_ns;
+    const bool bad = ratio > kFactor;
+    if (bad || ratio > 1.25) {
+      std::printf("  %-34s %8.3f -> %8.3f ns/px  (%.2fx)%s\n", r.name.c_str(),
+                  base_ns, r.ns_per_pixel, ratio, bad ? "  REGRESSION" : "");
+    }
+    regressions += bad ? 1 : 0;
+  }
+  std::printf("  %d/%zu benchmarks compared, %d regression%s\n", compared,
+              results.size(), regressions, regressions == 1 ? "" : "s");
+  return regressions;
 }
 
 }  // namespace
@@ -149,14 +218,26 @@ int main(int argc, char** argv) {
   bench("blur/gaussian/s1.5", big_px, [&] { (void)gaussian_blur(big, 1.5); });
 
   // --- FFT log-spectrum (steganalysis detection) ---------------------------
-  bench("spectrum/pow2", big.plane_size(), [&] {
-    (void)centered_log_spectrum(big);  // 512/192: radix-2 fast path
-  });
+  // Fixed geometries in both modes: the FFT regime (planned radix-4 vs
+  // Bluestein) depends on the exact side length, so quick-mode scaling would
+  // silently benchmark a different code path (192 is not a power of two) and
+  // break the --regress-against comparison with the committed full-run
+  // baseline. Sizes cover the planned real-input pow2 path at two scales,
+  // the CNN input geometry (224 = 2^5 * 7, mixed-composite Bluestein), and a
+  // large odd Bluestein side.
   {
-    const int odd = opt.quick ? 150 : 450;  // non-pow2: Bluestein path
-    const Image awkward = resize(big, odd, odd, ScaleAlgo::Bilinear);
-    bench("spectrum/bluestein", awkward.plane_size(),
-          [&] { (void)centered_log_spectrum(awkward); });
+    const Image pow2_512 = resize(big, 512, 512, ScaleAlgo::Bilinear);
+    const Image pow2_256 = resize(big, 256, 256, ScaleAlgo::Bilinear);
+    const Image cnn_224 = resize(big, 224, 224, ScaleAlgo::Bilinear);
+    const Image odd_450 = resize(big, 450, 450, ScaleAlgo::Bilinear);
+    bench("spectrum/pow2", pow2_512.plane_size(),
+          [&] { (void)centered_log_spectrum(pow2_512); });
+    bench("spectrum/pow2_256", pow2_256.plane_size(),
+          [&] { (void)centered_log_spectrum(pow2_256); });
+    bench("spectrum/cnn224", cnn_224.plane_size(),
+          [&] { (void)centered_log_spectrum(cnn_224); });
+    bench("spectrum/bluestein", odd_450.plane_size(),
+          [&] { (void)centered_log_spectrum(odd_450); });
   }
 
   // --- one full battery score (everything a `decamctl scan` pays) ---------
@@ -185,6 +266,9 @@ int main(int argc, char** argv) {
     out.close();
     std::printf("\nwrote %s (%zu benchmarks)\n", opt.out.c_str(),
                 results.size());
+  }
+  if (!opt.regress.empty() && check_regressions(results, opt.regress) != 0) {
+    return 1;
   }
   return 0;
 }

@@ -31,8 +31,12 @@ AnalysisContext::AnalysisContext(const Image& input,
   }
   if (spec.spectrum) {
     obs::ScopedTimer timer(spectrum_hist, "context/spectrum");
-    spectrum_ = centered_log_spectrum(input);
+    spectrum_ = centered_log_spectrum(input, spectrum_workspace());
   }
+}
+
+SpectrumWorkspace& AnalysisContext::spectrum_workspace() {
+  return thread_spectrum_workspace();
 }
 
 const Image& AnalysisContext::downscaled() const {

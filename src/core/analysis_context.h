@@ -24,6 +24,7 @@
 #include "imaging/filter.h"
 #include "imaging/image.h"
 #include "imaging/scale.h"
+#include "signal/spectrum.h"
 
 namespace decam::core {
 
@@ -77,6 +78,13 @@ class AnalysisContext {
                          ScaleAlgo algo) const;
   /// True when filtered() exists for exactly this window + op.
   bool filter_matches(int window, RankOp op) const;
+
+  /// Per-thread spectrum scratch (complex frequency plane + shifted
+  /// log-magnitude buffer) shared by every context built on this thread.
+  /// Detectors scoring without a context reuse it through this accessor,
+  /// so a dataset sweep allocates the FFT buffers once per worker, not
+  /// once per image.
+  static SpectrumWorkspace& spectrum_workspace();
 
  private:
   const Image* input_;

@@ -20,7 +20,8 @@ SteganalysisDetector::SteganalysisDetector(SteganalysisDetectorConfig config)
 }
 
 Image SteganalysisDetector::binary_spectrum(const Image& input) const {
-  return binarize_spectrum(centered_log_spectrum(input));
+  return binarize_spectrum(
+      centered_log_spectrum(input, AnalysisContext::spectrum_workspace()));
 }
 
 Image SteganalysisDetector::binarize_spectrum(const Image& spectrum) const {
@@ -58,7 +59,8 @@ Image SteganalysisDetector::binarize_spectrum(const Image& spectrum) const {
 }
 
 int SteganalysisDetector::count_csp(const Image& input) const {
-  return count_csp_in(centered_log_spectrum(input));
+  return count_csp_in(
+      centered_log_spectrum(input, AnalysisContext::spectrum_workspace()));
 }
 
 int SteganalysisDetector::count_csp_in(const Image& spectrum) const {

@@ -1,114 +1,45 @@
 #include "signal/fft.h"
 
 #include <algorithm>
-#include <bit>
-#include <map>
 #include <cmath>
-#include <numbers>
+#include <numeric>
 
-#include "imaging/color.h"
 #include "obs/span.h"
 
 namespace decam {
 namespace {
 
-bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+// Cache-blocked column pass over columns [x0, x_end): each sweep gathers a
+// tile of columns into contiguous scratch, transforms them, and scatters
+// back. The gather/scatter walks the grid row-wise (sequential reads with a
+// handful of open write streams), so every cache line of the plane is
+// touched once per tile instead of once per column.
+constexpr int kColumnTile = 8;
 
-// Iterative radix-2 Cooley-Tukey; n must be a power of two.
-void fft_pow2(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const Complex u = a[i + j];
-        const Complex v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-        w *= wlen;
+void fft_columns(Complex* data, int width, int height, int x0, int x_end,
+                 const PlannedFft& col_fft) {
+  thread_local std::vector<Complex> tile;
+  const std::size_t h = static_cast<std::size_t>(height);
+  const std::size_t need =
+      h * static_cast<std::size_t>(std::min(kColumnTile, x_end - x0));
+  if (tile.size() < need) tile.resize(need);
+  for (int x = x0; x < x_end; x += kColumnTile) {
+    const int tw = std::min(kColumnTile, x_end - x);
+    for (int y = 0; y < height; ++y) {
+      const Complex* src = data + static_cast<std::size_t>(y) * width + x;
+      for (int c = 0; c < tw; ++c) {
+        tile[static_cast<std::size_t>(c) * h + y] = src[c];
       }
     }
-  }
-  if (inverse) {
-    for (Complex& x : a) x /= static_cast<double>(n);
-  }
-}
-
-// Bluestein chirp-z transform: expresses a length-n DFT as a convolution,
-// evaluated with a padded power-of-two FFT. Handles any n.
-//
-// The chirp table and the transformed convolution kernel depend only on
-// (n, direction), and a 2-D transform calls this once per row/column of
-// the same length — so both are cached per size. The cache is tiny (a few
-// image side lengths) and makes the steganalysis detector's 2-D DFT ~2-3x
-// faster on non-power-of-two images.
-struct BluesteinPlan {
-  std::vector<Complex> chirp;   // exp(sign*i*pi*k^2/n)
-  std::vector<Complex> kernel;  // FFT of the padded conjugate chirp
-  std::size_t m = 0;            // padded convolution length
-};
-
-const BluesteinPlan& bluestein_plan(std::size_t n, bool inverse) {
-  struct Key {
-    std::size_t n;
-    bool inverse;
-    bool operator<(const Key& o) const {
-      return n != o.n ? n < o.n : inverse < o.inverse;
+    for (int c = 0; c < tw; ++c) {
+      col_fft(tile.data() + static_cast<std::size_t>(c) * h);
     }
-  };
-  // thread_local: the runtime layer (src/runtime) scores images from pool
-  // workers concurrently; a shared cache would race on insert/clear and the
-  // returned reference could be invalidated by another thread's clear().
-  // Per-thread caches cost a few re-derived plans per worker instead.
-  thread_local std::map<Key, BluesteinPlan> cache;
-  const Key key{n, inverse};
-  auto found = cache.find(key);
-  if (found != cache.end()) return found->second;
-
-  BluesteinPlan plan;
-  const double sign = inverse ? 1.0 : -1.0;
-  plan.chirp.resize(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids catastrophic precision loss for large k.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double angle =
-        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
-    plan.chirp[k] = Complex(std::cos(angle), std::sin(angle));
-  }
-  plan.m = std::bit_ceil(2 * n - 1);
-  plan.kernel.assign(plan.m, Complex(0, 0));
-  plan.kernel[0] = std::conj(plan.chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    plan.kernel[k] = plan.kernel[plan.m - k] = std::conj(plan.chirp[k]);
-  }
-  fft_pow2(plan.kernel, false);
-  // Bound the cache: detectors touch a handful of sizes, but a pathological
-  // caller sweeping sizes should not grow memory without limit.
-  if (cache.size() > 64) cache.clear();
-  return cache.emplace(key, std::move(plan)).first->second;
-}
-
-void fft_bluestein(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
-  const BluesteinPlan& plan = bluestein_plan(n, inverse);
-  std::vector<Complex> x(plan.m, Complex(0, 0));
-  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * plan.chirp[k];
-  fft_pow2(x, false);
-  for (std::size_t k = 0; k < plan.m; ++k) x[k] *= plan.kernel[k];
-  fft_pow2(x, true);
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * plan.chirp[k];
-  if (inverse) {
-    for (Complex& v : a) v /= static_cast<double>(n);
+    for (int y = 0; y < height; ++y) {
+      Complex* dst = data + static_cast<std::size_t>(y) * width + x;
+      for (int c = 0; c < tw; ++c) {
+        dst[c] = tile[static_cast<std::size_t>(c) * h + y];
+      }
+    }
   }
 }
 
@@ -117,11 +48,8 @@ void fft_bluestein(std::vector<Complex>& a, bool inverse) {
 void fft(std::vector<Complex>& data, bool inverse) {
   DECAM_REQUIRE(!data.empty(), "fft of empty signal");
   if (data.size() == 1) return;
-  if (is_pow2(data.size())) {
-    fft_pow2(data, inverse);
-  } else {
-    fft_bluestein(data, inverse);
-  }
+  const PlannedFft plan(data.size(), inverse);
+  plan(data.data());
 }
 
 std::vector<Complex> fft(const std::vector<Complex>& data) {
@@ -141,58 +69,141 @@ void fft2d(std::vector<Complex>& data, int width, int height, bool inverse) {
   DECAM_REQUIRE(width > 0 && height > 0, "fft2d dimensions must be positive");
   DECAM_REQUIRE(data.size() == static_cast<std::size_t>(width) * height,
                 "fft2d buffer size mismatch");
-  std::vector<Complex> line;
-  // Rows.
-  line.resize(static_cast<std::size_t>(width));
-  for (int y = 0; y < height; ++y) {
-    std::copy_n(data.begin() + static_cast<std::size_t>(y) * width, width,
-                line.begin());
-    fft(line, inverse);
-    std::copy(line.begin(), line.end(),
-              data.begin() + static_cast<std::size_t>(y) * width);
-  }
-  // Columns.
-  line.resize(static_cast<std::size_t>(height));
-  for (int x = 0; x < width; ++x) {
+  if (width > 1) {
+    const PlannedFft row_fft(static_cast<std::size_t>(width), inverse);
     for (int y = 0; y < height; ++y) {
-      line[static_cast<std::size_t>(y)] =
-          data[static_cast<std::size_t>(y) * width + x];
+      row_fft(data.data() + static_cast<std::size_t>(y) * width);
     }
-    fft(line, inverse);
-    for (int y = 0; y < height; ++y) {
-      data[static_cast<std::size_t>(y) * width + x] =
-          line[static_cast<std::size_t>(y)];
+  }
+  if (height > 1) {
+    const PlannedFft col_fft(static_cast<std::size_t>(height), inverse);
+    fft_columns(data.data(), width, height, 0, width, col_fft);
+  }
+}
+
+void fft2d(const Image& img, std::vector<Complex>& out) {
+  DECAM_SPAN("signal/fft2d");
+  DECAM_REQUIRE(!img.empty(), "fft2d of empty image");
+  DECAM_REQUIRE(img.channels() == 1 || img.channels() == 3,
+                "fft2d expects 1 or 3 channels");
+  const int w = img.width();
+  const int h = img.height();
+  const std::size_t stride = static_cast<std::size_t>(w);
+  out.resize(img.plane_size());
+
+  // Luma without materialising a gray Image: same float expression as
+  // to_gray(), widened to double afterwards.
+  const bool rgb = img.channels() == 3;
+  const float* r = img.data();
+  const float* g = rgb ? r + img.plane_size() : nullptr;
+  const float* b = rgb ? r + 2 * img.plane_size() : nullptr;
+  const auto luma = [&](std::size_t i) -> double {
+    if (!rgb) return static_cast<double>(r[i]);
+    const float y = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+    return static_cast<double>(y);
+  };
+
+  // Row pass, two real rows per complex transform: z = row0 + i*row1 costs
+  // one FFT; the two spectra untangle through Hermitian symmetry
+  //   F0[k] = (Z[k] + conj(Z[w-k])) / 2,  F1[k] = -i (Z[k] - conj(Z[w-k])) / 2.
+  const PlannedFft row_fft(static_cast<std::size_t>(w), false);
+  thread_local std::vector<Complex> z;
+  if (z.size() < stride) z.resize(stride);
+  int y = 0;
+  for (; y + 1 < h; y += 2) {
+    const std::size_t i0 = static_cast<std::size_t>(y) * stride;
+    const std::size_t i1 = i0 + stride;
+    for (int x = 0; x < w; ++x) {
+      z[static_cast<std::size_t>(x)] = Complex(luma(i0 + x), luma(i1 + x));
+    }
+    row_fft(z.data());
+    Complex* o0 = out.data() + i0;
+    Complex* o1 = out.data() + i1;
+    o0[0] = Complex(z[0].real(), 0.0);
+    o1[0] = Complex(z[0].imag(), 0.0);
+    for (int k = 1; k < w; ++k) {
+      const Complex a = z[static_cast<std::size_t>(k)];
+      const Complex bk = std::conj(z[static_cast<std::size_t>(w - k)]);
+      const Complex sum = a + bk;
+      const Complex diff = a - bk;
+      o0[k] = Complex(0.5 * sum.real(), 0.5 * sum.imag());
+      o1[k] = Complex(0.5 * diff.imag(), -0.5 * diff.real());
+    }
+  }
+  if (h & 1) {
+    const std::size_t i0 = static_cast<std::size_t>(h - 1) * stride;
+    for (int x = 0; x < w; ++x) {
+      z[static_cast<std::size_t>(x)] = Complex(luma(i0 + x), 0.0);
+    }
+    row_fft(z.data());
+    std::copy_n(z.data(), stride, out.data() + i0);
+  }
+
+  if (h > 1) {
+    // Columns 0..w/2 carry all the information of a real input; the rest
+    // follow from F[y][x] = conj(F[(h-y) mod h][w-x]).
+    const PlannedFft col_fft(static_cast<std::size_t>(h), false);
+    const int x_end = w / 2 + 1;
+    fft_columns(out.data(), w, h, 0, x_end, col_fft);
+    for (int yy = 0; yy < h; ++yy) {
+      const std::size_t ym = yy == 0 ? 0 : static_cast<std::size_t>(h - yy);
+      const Complex* src = out.data() + ym * stride;
+      Complex* dst = out.data() + static_cast<std::size_t>(yy) * stride;
+      for (int x = x_end; x < w; ++x) dst[x] = std::conj(src[w - x]);
     }
   }
 }
 
 std::vector<Complex> fft2d(const Image& img) {
-  DECAM_REQUIRE(!img.empty(), "fft2d of empty image");
-  const Image gray = img.channels() == 1 ? img : to_gray(img);
-  std::vector<Complex> data(gray.plane_size());
-  const auto plane = gray.plane(0);
-  for (std::size_t i = 0; i < plane.size(); ++i) {
-    data[i] = Complex(static_cast<double>(plane[i]), 0.0);
-  }
-  fft2d(data, gray.width(), gray.height(), false);
-  return data;
+  std::vector<Complex> out;
+  fft2d(img, out);
+  return out;
 }
 
 void fftshift(std::vector<Complex>& data, int width, int height) {
   DECAM_REQUIRE(data.size() == static_cast<std::size_t>(width) * height,
                 "fftshift buffer size mismatch");
-  std::vector<Complex> out(data.size());
   const int hx = width / 2;
   const int hy = height / 2;
-  for (int y = 0; y < height; ++y) {
-    const int sy = (y + hy) % height;
-    for (int x = 0; x < width; ++x) {
-      const int sx = (x + hx) % width;
-      out[static_cast<std::size_t>(sy) * width + sx] =
-          data[static_cast<std::size_t>(y) * width + x];
+  // Rotate each row right by hx (std::rotate is in place for odd widths;
+  // for even widths it degenerates to swapping the two halves).
+  if (hx > 0) {
+    for (int y = 0; y < height; ++y) {
+      Complex* row = data.data() + static_cast<std::size_t>(y) * width;
+      std::rotate(row, row + (width - hx), row + width);
     }
   }
-  data = std::move(out);
+  if (hy == 0) return;
+  const std::size_t stride = static_cast<std::size_t>(width);
+  if (height % 2 == 0) {
+    // Even height: rotating rows by h/2 is a pairwise block swap — no
+    // scratch at all.
+    for (int y = 0; y < hy; ++y) {
+      Complex* a = data.data() + static_cast<std::size_t>(y) * stride;
+      Complex* b = data.data() + static_cast<std::size_t>(y + hy) * stride;
+      std::swap_ranges(a, a + stride, b);
+    }
+  } else {
+    // Odd height: follow the rotation's permutation cycles with a single
+    // row of scratch (dst takes the row hy below it, wrapping).
+    std::vector<Complex> tmp(stride);
+    const int cycles = std::gcd(height, hy);
+    for (int c = 0; c < cycles; ++c) {
+      std::copy_n(data.data() + static_cast<std::size_t>(c) * stride, stride,
+                  tmp.data());
+      int dst = c;
+      while (true) {
+        int src = dst - hy;
+        if (src < 0) src += height;
+        if (src == c) break;
+        std::copy_n(data.data() + static_cast<std::size_t>(src) * stride,
+                    stride, data.data() + static_cast<std::size_t>(dst) * stride);
+        dst = src;
+      }
+      std::copy_n(tmp.data(), stride,
+                  data.data() + static_cast<std::size_t>(dst) * stride);
+    }
+  }
 }
 
 }  // namespace decam

@@ -1,21 +1,27 @@
 // Fast Fourier Transform substrate for the steganalysis detector.
 //
-// Supports arbitrary lengths: power-of-two sizes run an iterative radix-2
-// Cooley-Tukey; everything else goes through Bluestein's chirp-z algorithm
-// (which internally uses a padded radix-2 convolution). Real images of any
-// geometry — Caltech-style 300x451, say — therefore transform exactly, not
-// via cropping or zero-padding that would distort the spectrum the detector
-// inspects.
+// Supports arbitrary lengths: power-of-two sizes run an iterative planned
+// radix-4/radix-2 Cooley-Tukey; everything else goes through Bluestein's
+// chirp-z algorithm (which internally uses a padded power-of-two
+// convolution). Real images of any geometry — Caltech-style 300x451, say —
+// therefore transform exactly, not via cropping or zero-padding that would
+// distort the spectrum the detector inspects.
+//
+// All twiddle/permutation tables live in the LRU plan cache (fft_plan.h);
+// the 2-D image transform additionally exploits the input being real
+// (two rows packed per complex row transform, Hermitian mirror for half the
+// columns) and sweeps columns in cache-blocked tiles. DESIGN.md §10 covers
+// the engine and its numerical-tolerance policy: restructured summation
+// orders mean results match a naive DFT to ~1e-12 relative, but are not
+// bit-identical to the pre-plan scalar code.
 #pragma once
 
-#include <complex>
 #include <vector>
 
 #include "imaging/image.h"
+#include "signal/fft_plan.h"
 
 namespace decam {
-
-using Complex = std::complex<double>;
 
 /// In-place forward/inverse FFT of arbitrary length n >= 1.
 /// The inverse includes the 1/n normalisation, so ifft(fft(x)) == x.
@@ -25,15 +31,28 @@ void fft(std::vector<Complex>& data, bool inverse);
 std::vector<Complex> fft(const std::vector<Complex>& data);
 std::vector<Complex> ifft(const std::vector<Complex>& data);
 
-/// Row-major 2-D FFT of a height x width grid (rows first, then columns).
+/// Row-major 2-D FFT of a height x width grid (rows in place, then columns
+/// in cache-blocked tiles of contiguous scratch).
 void fft2d(std::vector<Complex>& data, int width, int height, bool inverse);
 
 /// Forward 2-D DFT of a single-channel image (values used as reals).
-/// Multi-channel inputs are converted to luma first.
+/// Multi-channel inputs are converted to luma first. The real-input fast
+/// path packs two rows per complex transform and derives the right half of
+/// the column transforms from Hermitian symmetry — roughly half the work of
+/// the complex 2-D transform.
 std::vector<Complex> fft2d(const Image& img);
+
+/// Scratch-reusing overload: `out` is resized to width*height and filled
+/// with the forward transform, reusing its capacity across calls (the
+/// AnalysisContext scores thousands of images through one per-thread
+/// buffer instead of allocating a complex plane each time).
+void fft2d(const Image& img, std::vector<Complex>& out);
 
 /// Swaps quadrants so the zero-frequency bin moves to the centre — the
 /// "centering" step of the paper's Eq. (4). Self-inverse for even sizes.
+/// In place: no temporary for even dimensions, one row of scratch for odd
+/// heights. The fused spectrum path (spectrum.h) never materialises the
+/// shifted complex plane at all; this stays exported for other callers.
 void fftshift(std::vector<Complex>& data, int width, int height);
 
 }  // namespace decam

@@ -1,0 +1,374 @@
+#include "signal/fft_plan.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <list>
+#include <map>
+#include <mutex>
+#include <numbers>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace decam {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// ----------------------------------------------------------- plan build --
+
+FftPlan make_fft_plan(std::size_t n, bool inverse) {
+  DECAM_REQUIRE(is_pow2(n), "power-of-two plan for non-power-of-two length");
+  FftPlan plan;
+  plan.n = n;
+  plan.inverse = inverse;
+  plan.log2n = std::countr_zero(n);
+
+  plan.bitrev.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    plan.bitrev[i] = static_cast<std::uint32_t>(j);
+  }
+
+  // Radix-4 stages combine length-L sub-transforms into 4L. When log2(n) is
+  // odd a twiddle-free radix-2 stage runs first (DIT) or last (DIF), so the
+  // radix-4 ladder starts at L = 2 instead of 1.
+  const double sign = inverse ? 1.0 : -1.0;
+  std::size_t L = (plan.log2n & 1) ? 2 : 1;
+  for (; L * 4 <= n; L *= 4) {
+    plan.stages.emplace_back(static_cast<std::uint32_t>(L),
+                             static_cast<std::uint32_t>(plan.twiddles.size()));
+    const double base =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(4 * L);
+    for (std::size_t k = 0; k < L; ++k) {
+      const double a = base * static_cast<double>(k);
+      plan.twiddles.emplace_back(std::cos(a), std::sin(a));
+      plan.twiddles.emplace_back(std::cos(2 * a), std::sin(2 * a));
+      plan.twiddles.emplace_back(std::cos(3 * a), std::sin(3 * a));
+    }
+  }
+  return plan;
+}
+
+// DIT radix-2 stage over adjacent pairs (twiddle-free: W^0 only).
+inline void radix2_pairs(Complex* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 2) {
+    const Complex u = a[i];
+    const Complex v = a[i + 1];
+    a[i] = u + v;
+    a[i + 1] = u - v;
+  }
+}
+
+// Shared radix-4 butterfly core. Sub-blocks within a 4L group sit in
+// bit-reversed residue order (0, 2, 1, 3): block 1 holds residue 2, block 2
+// holds residue 1 — in DIT that reorders the *reads*, in DIF the *writes*.
+// `j` below is W^L = exp(sign*i*pi/2) = (0, sign).
+//
+// The arithmetic is spelled out on explicit doubles: std::complex
+// operator* compiles to a NaN-recovery branch around __muldc3 (Annex G
+// semantics), which blocks vectorisation and costs a call on every
+// butterfly. Plain real/imag products have no such path.
+
+void dit_stages(const FftPlan& plan, Complex* a) {
+  const std::size_t n = plan.n;
+  if (plan.log2n & 1) radix2_pairs(a, n);
+  const double s = plan.inverse ? 1.0 : -1.0;
+  for (const auto& [L32, off] : plan.stages) {
+    const std::size_t L = L32;
+    const Complex* stage_tw = plan.twiddles.data() + off;
+    for (std::size_t i = 0; i < n; i += 4 * L) {
+      Complex* p0 = a + i;
+      Complex* p1 = a + i + L;
+      Complex* p2 = a + i + 2 * L;
+      Complex* p3 = a + i + 3 * L;
+      const Complex* w = stage_tw;
+      for (std::size_t k = 0; k < L; ++k, w += 3) {
+        const double t0r = p0[k].real(), t0i = p0[k].imag();
+        // residue 1 lives in block 2, residue 2 in block 1
+        const double x1r = p2[k].real(), x1i = p2[k].imag();
+        const double x2r = p1[k].real(), x2i = p1[k].imag();
+        const double x3r = p3[k].real(), x3i = p3[k].imag();
+        const double t1r = x1r * w[0].real() - x1i * w[0].imag();
+        const double t1i = x1r * w[0].imag() + x1i * w[0].real();
+        const double t2r = x2r * w[1].real() - x2i * w[1].imag();
+        const double t2i = x2r * w[1].imag() + x2i * w[1].real();
+        const double t3r = x3r * w[2].real() - x3i * w[2].imag();
+        const double t3i = x3r * w[2].imag() + x3i * w[2].real();
+        const double u0r = t0r + t2r, u0i = t0i + t2i;
+        const double u1r = t0r - t2r, u1i = t0i - t2i;
+        const double u2r = t1r + t3r, u2i = t1i + t3i;
+        const double u3r = t1r - t3r, u3i = t1i - t3i;
+        const double ju3r = -s * u3i, ju3i = s * u3r;
+        p0[k] = Complex(u0r + u2r, u0i + u2i);
+        p1[k] = Complex(u1r + ju3r, u1i + ju3i);
+        p2[k] = Complex(u0r - u2r, u0i - u2i);
+        p3[k] = Complex(u1r - ju3r, u1i - ju3i);
+      }
+    }
+  }
+}
+
+void dif_stages(const FftPlan& plan, Complex* a) {
+  const std::size_t n = plan.n;
+  const double s = plan.inverse ? 1.0 : -1.0;
+  for (auto it = plan.stages.rbegin(); it != plan.stages.rend(); ++it) {
+    const std::size_t L = it->first;
+    const Complex* stage_tw = plan.twiddles.data() + it->second;
+    for (std::size_t i = 0; i < n; i += 4 * L) {
+      Complex* p0 = a + i;
+      Complex* p1 = a + i + L;
+      Complex* p2 = a + i + 2 * L;
+      Complex* p3 = a + i + 3 * L;
+      const Complex* w = stage_tw;
+      for (std::size_t k = 0; k < L; ++k, w += 3) {
+        const double a0r = p0[k].real(), a0i = p0[k].imag();
+        const double a1r = p1[k].real(), a1i = p1[k].imag();
+        const double a2r = p2[k].real(), a2i = p2[k].imag();
+        const double a3r = p3[k].real(), a3i = p3[k].imag();
+        const double u0r = a0r + a2r, u0i = a0i + a2i;
+        const double u1r = a0r - a2r, u1i = a0i - a2i;
+        const double u2r = a1r + a3r, u2i = a1i + a3i;
+        const double u3r = a1r - a3r, u3i = a1i - a3i;
+        const double ju3r = -s * u3i, ju3i = s * u3r;
+        const double c2r = u0r - u2r, c2i = u0i - u2i;
+        const double c1r = u1r + ju3r, c1i = u1i + ju3i;
+        const double c3r = u1r - ju3r, c3i = u1i - ju3i;
+        p0[k] = Complex(u0r + u2r, u0i + u2i);  // residue 0 -> block 0
+        p1[k] = Complex(c2r * w[1].real() - c2i * w[1].imag(),
+                        c2r * w[1].imag() + c2i * w[1].real());
+        p2[k] = Complex(c1r * w[0].real() - c1i * w[0].imag(),
+                        c1r * w[0].imag() + c1i * w[0].real());
+        p3[k] = Complex(c3r * w[2].real() - c3i * w[2].imag(),
+                        c3r * w[2].imag() + c3i * w[2].real());
+      }
+    }
+  }
+  if (plan.log2n & 1) radix2_pairs(a, n);
+}
+
+// ----------------------------------------------------------------- cache --
+
+// Bounded thread-safe LRU, the same shape as imaging's KernelTableCache:
+// lookups under a mutex, plan construction outside it (two threads racing on
+// one key build identical plans; the second insert just reuses the first),
+// shared_ptr handout so eviction never invalidates a plan in flight.
+template <typename Plan>
+class PlanLruCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  template <typename Build>
+  std::shared_ptr<const Plan> get(std::size_t n, bool inverse,
+                                  const Build& build,
+                                  obs::Counter& hit_counter,
+                                  obs::Counter& miss_counter) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(n) << 1) |
+                              static_cast<std::uint64_t>(inverse);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++hits_;
+        hit_counter.add();
+        return it->second.plan;
+      }
+      ++misses_;
+      miss_counter.add();
+    }
+    auto plan = std::make_shared<const Plan>(build(n, inverse));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.plan;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{plan, lru_.begin()});
+    if (map_.size() > kCapacity) {
+      // Least-recently-used only — never the hot row/column plans a 2-D
+      // transform is holding (and shared_ptr keeps even an evicted plan
+      // alive until its last user finishes).
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return plan;
+  }
+
+  FftPlanCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, map_.size(), kCapacity};
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+PlanLruCache<FftPlan>& pow2_cache() {
+  static PlanLruCache<FftPlan> cache;
+  return cache;
+}
+
+PlanLruCache<BluesteinPlan>& bluestein_cache() {
+  static PlanLruCache<BluesteinPlan> cache;
+  return cache;
+}
+
+BluesteinPlan make_bluestein_plan(std::size_t n, bool inverse) {
+  DECAM_REQUIRE(n >= 2, "bluestein plan needs n >= 2");
+  BluesteinPlan plan;
+  plan.n = n;
+  plan.inverse = inverse;
+  const double sign = inverse ? 1.0 : -1.0;
+  plan.chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids catastrophic precision loss for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    plan.chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  plan.m = std::bit_ceil(2 * n - 1);
+  plan.conv_forward = get_fft_plan(plan.m, false);
+  plan.conv_inverse = get_fft_plan(plan.m, true);
+  plan.kernel.assign(plan.m, Complex(0, 0));
+  plan.kernel[0] = std::conj(plan.chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    plan.kernel[k] = plan.kernel[plan.m - k] = std::conj(plan.chirp[k]);
+  }
+  // Stored DIF-transformed (bit-reversed order) with the convolution's 1/m
+  // folded in: per call, both inner transforms skip permutation and no
+  // normalisation pass is needed.
+  fft_exec_dif_noperm(*plan.conv_forward, plan.kernel.data());
+  const double inv_m = 1.0 / static_cast<double>(plan.m);
+  for (Complex& v : plan.kernel) v *= inv_m;
+  return plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n, bool inverse) {
+  static auto& registry = obs::MetricsRegistry::instance();
+  static auto& hits = registry.counter("fft_plan_cache/hits");
+  static auto& misses = registry.counter("fft_plan_cache/misses");
+  return pow2_cache().get(n, inverse, make_fft_plan, hits, misses);
+}
+
+std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
+                                                        bool inverse) {
+  static auto& registry = obs::MetricsRegistry::instance();
+  static auto& hits = registry.counter("bluestein_plan_cache/hits");
+  static auto& misses = registry.counter("bluestein_plan_cache/misses");
+  return bluestein_cache().get(n, inverse, make_bluestein_plan, hits, misses);
+}
+
+FftPlanCacheStats fft_plan_cache_stats() { return pow2_cache().stats(); }
+
+FftPlanCacheStats bluestein_plan_cache_stats() {
+  return bluestein_cache().stats();
+}
+
+void clear_fft_plan_caches() {
+  pow2_cache().clear();
+  bluestein_cache().clear();
+}
+
+void fft_exec(const FftPlan& plan, Complex* data) {
+  const std::size_t n = plan.n;
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t j = plan.bitrev[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  dit_stages(plan, data);
+  if (plan.inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= inv_n;
+  }
+}
+
+void fft_exec_dif_noperm(const FftPlan& plan, Complex* data) {
+  if (plan.n <= 1) return;
+  dif_stages(plan, data);
+}
+
+void fft_exec_dit_noperm(const FftPlan& plan, Complex* data) {
+  if (plan.n <= 1) return;
+  dit_stages(plan, data);
+}
+
+void bluestein_exec(const BluesteinPlan& plan, Complex* data) {
+  const std::size_t n = plan.n;
+  const std::size_t m = plan.m;
+  // Grow-only per-thread scratch: one live convolution per thread, reused
+  // across every call (the old implementation allocated m complexes per
+  // transform — per image row/column).
+  thread_local std::vector<Complex> scratch;
+  if (scratch.size() < m) scratch.resize(m);
+  Complex* x = scratch.data();
+  const Complex* chirp = plan.chirp.data();
+  // Explicit real/imag products for the same __muldc3 reason as the
+  // butterfly kernels above.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = data[k].real(), ai = data[k].imag();
+    const double cr = chirp[k].real(), ci = chirp[k].imag();
+    x[k] = Complex(ar * cr - ai * ci, ar * ci + ai * cr);
+  }
+  std::fill(x + n, x + m, Complex(0, 0));
+  fft_exec_dif_noperm(*plan.conv_forward, x);
+  const Complex* kernel = plan.kernel.data();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double ar = x[k].real(), ai = x[k].imag();
+    const double kr = kernel[k].real(), ki = kernel[k].imag();
+    x[k] = Complex(ar * kr - ai * ki, ar * ki + ai * kr);
+  }
+  fft_exec_dit_noperm(*plan.conv_inverse, x);
+  const double scale =
+      plan.inverse ? 1.0 / static_cast<double>(n) : 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = x[k].real(), ai = x[k].imag();
+    const double cr = chirp[k].real(), ci = chirp[k].imag();
+    data[k] = Complex(scale * (ar * cr - ai * ci),
+                      scale * (ar * ci + ai * cr));
+  }
+}
+
+PlannedFft::PlannedFft(std::size_t n, bool inverse) : n_(n) {
+  DECAM_REQUIRE(n >= 1, "fft of empty signal");
+  if (n == 1) return;
+  if (is_pow2(n)) {
+    pow2_ = get_fft_plan(n, inverse);
+  } else {
+    bluestein_ = get_bluestein_plan(n, inverse);
+  }
+}
+
+void PlannedFft::operator()(Complex* data) const {
+  if (pow2_) {
+    fft_exec(*pow2_, data);
+  } else if (bluestein_) {
+    bluestein_exec(*bluestein_, data);
+  }
+}
+
+}  // namespace decam

@@ -1,0 +1,107 @@
+// FFT execution plans — the precomputed, cacheable half of the spectral
+// engine (DESIGN.md §10).
+//
+// A transform of length n always does the same twiddle arithmetic and the
+// same data shuffle; only the samples change. Plans hoist everything
+// sample-independent out of the hot loop: the bit-reversal permutation, the
+// per-stage radix-4/radix-2 twiddle tables, and (for Bluestein lengths) the
+// chirp sequence plus the pre-transformed convolution kernel. A 2-D
+// transform of an H x W image reuses two plans H + W times, and a dataset
+// sweep reuses them thousands of times, so plans live in a bounded
+// thread-safe LRU cache (same shape as the resize kernel-table cache in
+// imaging/kernels.cpp) and are handed out as shared_ptr — eviction can never
+// invalidate a plan mid-transform.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace decam {
+
+using Complex = std::complex<double>;
+
+/// Plan for one power-of-two length + direction: the bit-reversal
+/// permutation and the twiddle tables of an iterative mixed radix-4/radix-2
+/// decomposition (one radix-2 stage when log2(n) is odd, radix-4 for the
+/// rest — ~25% fewer complex multiplies than all-radix-2, and table lookups
+/// replace the serial `w *= wlen` recurrence).
+struct FftPlan {
+  std::size_t n = 0;
+  bool inverse = false;
+  int log2n = 0;
+  /// Full permutation table: element i swaps with bitrev[i] (applied once,
+  /// guarded by i < bitrev[i]).
+  std::vector<std::uint32_t> bitrev;
+  /// Concatenated per-stage tables: for each radix-4 stage of quarter-length
+  /// L, triples (W^k, W^2k, W^3k) for k in [0, L), W = exp(sign*2*pi*i/4L).
+  std::vector<Complex> twiddles;
+  /// (quarter_length, twiddle offset) per radix-4 stage, ascending L. The
+  /// DIT kernel walks it forward, the DIF kernel backward.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stages;
+};
+
+/// Plan for one arbitrary (non-power-of-two) length + direction via
+/// Bluestein's chirp-z algorithm. The convolution kernel is stored already
+/// DIF-transformed — in bit-reversed order, scaled by 1/m — so the per-call
+/// convolution is DIF-forward, pointwise multiply, DIT-inverse: both inner
+/// transforms skip the permutation entirely.
+struct BluesteinPlan {
+  std::size_t n = 0;
+  bool inverse = false;
+  std::size_t m = 0;                 // padded convolution length (power of 2)
+  std::vector<Complex> chirp;        // exp(sign*i*pi*k^2/n)
+  std::vector<Complex> kernel;       // DIF-FFT of padded conj chirp, / m
+  std::shared_ptr<const FftPlan> conv_forward;  // length-m plans, pinned so
+  std::shared_ptr<const FftPlan> conv_inverse;  // cache eviction can't bite
+};
+
+/// Cached plan lookup (thread-safe; builds on miss outside the lock).
+std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n, bool inverse);
+std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
+                                                        bool inverse);
+
+struct FftPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// Separate stats for the two plan kinds (a Bluestein miss also costs one
+/// or two power-of-two lookups for its convolution plans).
+FftPlanCacheStats fft_plan_cache_stats();
+FftPlanCacheStats bluestein_plan_cache_stats();
+void clear_fft_plan_caches();
+
+/// In-place execution, natural order in and out: bit-reversal permutation +
+/// DIT stages (+ 1/n normalisation when the plan is inverse).
+void fft_exec(const FftPlan& plan, Complex* data);
+
+/// Permutation-free halves for convolution pipelines: DIF takes natural
+/// order to bit-reversed, DIT takes bit-reversed back to natural. Neither
+/// normalises — fold 1/m into the kernel instead.
+void fft_exec_dif_noperm(const FftPlan& plan, Complex* data);
+void fft_exec_dit_noperm(const FftPlan& plan, Complex* data);
+
+/// In-place Bluestein execution over `data[0..n)`, using per-thread scratch
+/// sized once per m (no per-call allocation after warm-up).
+void bluestein_exec(const BluesteinPlan& plan, Complex* data);
+
+/// One planned 1-D transform: resolves the plan (power-of-two or Bluestein)
+/// once at construction so row/column loops pay the cache lookup once, not
+/// per line. Execution is in-place over `n` contiguous elements.
+class PlannedFft {
+ public:
+  PlannedFft(std::size_t n, bool inverse);
+  std::size_t size() const { return n_; }
+  void operator()(Complex* data) const;
+
+ private:
+  std::size_t n_;
+  std::shared_ptr<const FftPlan> pow2_;
+  std::shared_ptr<const BluesteinPlan> bluestein_;
+};
+
+}  // namespace decam

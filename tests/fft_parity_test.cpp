@@ -1,0 +1,340 @@
+// Parity harness for the planned spectral engine (DESIGN.md §10): every
+// transform path — radix-4/radix-2 plans, Bluestein convolution, the
+// real-input 2-D fast path, the in-place fftshift — is checked against a
+// naive O(n^2) reference DFT and the straightforward copy implementations
+// they replaced. The acceptance budget is 1e-9 of the transform's peak
+// magnitude: FFT restructuring legally reorders floating-point sums, so
+// bit-identity is replaced by this explicit tolerance (the same policy
+// filter.h documents for the box/resize kernels).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "data/rng.h"
+#include "imaging/color.h"
+#include "signal/fft.h"
+#include "signal/spectrum.h"
+
+namespace decam {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  data::Rng rng(seed);
+  std::vector<Complex> signal(n);
+  for (auto& v : signal) {
+    v = Complex(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0));
+  }
+  return signal;
+}
+
+// Naive O(n^2) DFT, the reference every fast path must reproduce.
+std::vector<Complex> naive_dft(const std::vector<Complex>& in, bool inverse) {
+  const std::size_t n = in.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>((j * k) % n) /
+                           static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+// Separable naive 2-D DFT (rows then columns).
+std::vector<Complex> naive_dft2d(const std::vector<Complex>& in, int w,
+                                 int h) {
+  std::vector<Complex> out = in;
+  std::vector<Complex> line;
+  for (int y = 0; y < h; ++y) {
+    line.assign(out.begin() + static_cast<std::size_t>(y) * w,
+                out.begin() + static_cast<std::size_t>(y + 1) * w);
+    line = naive_dft(line, false);
+    std::copy(line.begin(), line.end(),
+              out.begin() + static_cast<std::size_t>(y) * w);
+  }
+  for (int x = 0; x < w; ++x) {
+    line.resize(static_cast<std::size_t>(h));
+    for (int y = 0; y < h; ++y) {
+      line[static_cast<std::size_t>(y)] =
+          out[static_cast<std::size_t>(y) * w + x];
+    }
+    line = naive_dft(line, false);
+    for (int y = 0; y < h; ++y) {
+      out[static_cast<std::size_t>(y) * w + x] =
+          line[static_cast<std::size_t>(y)];
+    }
+  }
+  return out;
+}
+
+double peak_magnitude(const std::vector<Complex>& v) {
+  double peak = 0.0;
+  for (const Complex& x : v) peak = std::max(peak, std::abs(x));
+  return peak;
+}
+
+double max_abs_diff(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// The pre-engine fftshift: full-size temporary, index remap.
+std::vector<Complex> reference_fftshift(const std::vector<Complex>& data,
+                                        int width, int height) {
+  std::vector<Complex> out(data.size());
+  const int hx = width / 2;
+  const int hy = height / 2;
+  for (int y = 0; y < height; ++y) {
+    const int sy = (y + hy) % height;
+    for (int x = 0; x < width; ++x) {
+      const int sx = (x + hx) % width;
+      out[static_cast<std::size_t>(sy) * width + sx] =
+          data[static_cast<std::size_t>(y) * width + x];
+    }
+  }
+  return out;
+}
+
+// Power-of-two, odd, prime, and mixed-composite lengths — including the
+// image side lengths the detectors actually hit (224, 227, 300, 450).
+class FftNaiveParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftNaiveParity, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n * 31 + 7);
+  const auto expected = naive_dft(signal, false);
+  auto actual = signal;
+  fft(actual, false);
+  const double budget = 1e-9 * std::max(peak_magnitude(expected), 1.0);
+  EXPECT_LE(max_abs_diff(actual, expected), budget) << "n=" << n;
+}
+
+TEST_P(FftNaiveParity, InverseMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n * 17 + 3);
+  const auto expected = naive_dft(signal, true);
+  auto actual = signal;
+  fft(actual, true);
+  const double budget = 1e-9 * std::max(peak_magnitude(expected), 1.0);
+  EXPECT_LE(max_abs_diff(actual, expected), budget) << "n=" << n;
+}
+
+TEST_P(FftNaiveParity, RoundTripRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n * 5 + 11);
+  const auto back = ifft(fft(signal));
+  const double budget = 1e-9 * std::max(peak_magnitude(signal), 1.0);
+  EXPECT_LE(max_abs_diff(back, signal), budget) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftNaiveParity,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 27,
+                                           64, 97, 224, 227, 256, 300, 450),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// 2-D shapes: squares, rectangles, degenerate 1xN / Nx1 strips, odd/even
+// mixes — the complex grid transform and its inverse.
+class Fft2dNaiveParity
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Fft2dNaiveParity, ForwardMatchesSeparableNaive) {
+  const auto [w, h] = GetParam();
+  auto grid = random_signal(static_cast<std::size_t>(w) * h,
+                            static_cast<std::uint64_t>(w) * 1000 + h);
+  const auto expected = naive_dft2d(grid, w, h);
+  fft2d(grid, w, h, false);
+  const double budget = 1e-9 * std::max(peak_magnitude(expected), 1.0);
+  EXPECT_LE(max_abs_diff(grid, expected), budget) << w << "x" << h;
+}
+
+TEST_P(Fft2dNaiveParity, RoundTripRecoversGrid) {
+  const auto [w, h] = GetParam();
+  auto grid = random_signal(static_cast<std::size_t>(w) * h,
+                            static_cast<std::uint64_t>(h) * 911 + w);
+  const auto original = grid;
+  fft2d(grid, w, h, false);
+  fft2d(grid, w, h, true);
+  const double budget = 1e-9 * std::max(peak_magnitude(original), 1.0);
+  EXPECT_LE(max_abs_diff(grid, original), budget) << w << "x" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Fft2dNaiveParity,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 16}, std::pair{16, 1},
+                      std::pair{1, 7}, std::pair{13, 1}, std::pair{5, 4},
+                      std::pair{12, 7}, std::pair{16, 12}, std::pair{32, 32},
+                      std::pair{30, 14}, std::pair{27, 27}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.first) + "h" +
+             std::to_string(info.param.second);
+    });
+
+// The real-input fast path (packed row pairs + Hermitian column mirror)
+// must agree with the naive transform of the same plane.
+class RealFft2dParity : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(RealFft2dParity, ImageTransformMatchesNaive) {
+  const auto [w, h] = GetParam();
+  data::Rng rng(static_cast<std::uint64_t>(w) * 77 + h);
+  Image img(w, h, 1);
+  for (float& v : img.plane(0)) {
+    v = static_cast<float>(rng.next_range(0.0, 255.0));
+  }
+  std::vector<Complex> real_plane(img.plane_size());
+  const auto plane = img.plane(0);
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    real_plane[i] = Complex(static_cast<double>(plane[i]), 0.0);
+  }
+  const auto expected = naive_dft2d(real_plane, w, h);
+  const auto actual = fft2d(img);
+  const double budget = 1e-9 * std::max(peak_magnitude(expected), 1.0);
+  EXPECT_LE(max_abs_diff(actual, expected), budget) << w << "x" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RealFft2dParity,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 9}, std::pair{8, 1},
+                      std::pair{2, 2}, std::pair{5, 3}, std::pair{8, 9},
+                      std::pair{13, 7}, std::pair{16, 16}, std::pair{31, 12},
+                      std::pair{45, 45}, std::pair{64, 48}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.first) + "h" +
+             std::to_string(info.param.second);
+    });
+
+TEST(RealFft2dParity, ColorInputMatchesExplicitLumaTransform) {
+  data::Rng rng(99);
+  Image rgb(21, 14, 3);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : rgb.plane(c)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+  }
+  const auto direct = fft2d(rgb);
+  const auto via_gray = fft2d(to_gray(rgb));
+  const double budget = 1e-9 * std::max(peak_magnitude(via_gray), 1.0);
+  EXPECT_LE(max_abs_diff(direct, via_gray), budget);
+}
+
+TEST(RealFft2dParity, ScratchOverloadReusesBufferAcrossGeometries) {
+  std::vector<Complex> scratch;
+  data::Rng rng(7);
+  for (const auto& [w, h] : {std::pair{16, 12}, std::pair{9, 5},
+                             std::pair{24, 24}}) {
+    Image img(w, h, 1);
+    for (float& v : img.plane(0)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+    fft2d(img, scratch);
+    const auto fresh = fft2d(img);
+    ASSERT_EQ(scratch.size(), fresh.size());
+    EXPECT_LE(max_abs_diff(scratch, fresh), 0.0) << w << "x" << h;
+  }
+}
+
+// In-place fftshift (quadrant swap for even sizes, one-row-scratch cycle
+// rotation for odd heights) against the old full-copy implementation.
+class FftShiftParity : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(FftShiftParity, MatchesReferenceCopyImplementation) {
+  const auto [w, h] = GetParam();
+  auto grid = random_signal(static_cast<std::size_t>(w) * h,
+                            static_cast<std::uint64_t>(w) * 13 + h);
+  const auto expected = reference_fftshift(grid, w, h);
+  fftshift(grid, w, h);
+  EXPECT_LE(max_abs_diff(grid, expected), 0.0) << w << "x" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvenOddMix, FftShiftParity,
+    ::testing::Values(std::pair{4, 4}, std::pair{6, 4}, std::pair{5, 4},
+                      std::pair{4, 5}, std::pair{5, 3}, std::pair{7, 7},
+                      std::pair{1, 6}, std::pair{1, 7}, std::pair{6, 1},
+                      std::pair{7, 1}, std::pair{1, 1}, std::pair{32, 9},
+                      std::pair{9, 32}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.first) + "h" +
+             std::to_string(info.param.second);
+    });
+
+TEST(FftShiftParity, EvenSizesStaySelfInverse) {
+  auto grid = random_signal(16 * 12, 5);
+  const auto original = grid;
+  fftshift(grid, 16, 12);
+  fftshift(grid, 16, 12);
+  EXPECT_LE(max_abs_diff(grid, original), 0.0);
+}
+
+// The fused spectrum (shift folded into the magnitude pass, polynomial
+// log) against the definitional formula computed from the same transform.
+TEST(SpectrumParity, FusedLogMagnitudesMatchDefinition) {
+  data::Rng rng(21);
+  for (const auto& [w, h] : {std::pair{32, 32}, std::pair{15, 22}}) {
+    Image img(w, h, 1);
+    for (float& v : img.plane(0)) {
+      v = static_cast<float>(rng.next_range(0.0, 255.0));
+    }
+    std::vector<Complex> freq = fft2d(img);
+    fftshift(freq, w, h);
+    const std::vector<double> actual = centered_log_magnitudes(img);
+    ASSERT_EQ(actual.size(), freq.size());
+    for (std::size_t i = 0; i < freq.size(); ++i) {
+      EXPECT_NEAR(actual[i], std::log1p(std::abs(freq[i])), 1e-9)
+          << w << "x" << h << " bin " << i;
+    }
+  }
+}
+
+// Plan-cache behaviour: a sweep far past the LRU capacity must stay
+// correct (the old Bluestein cache dropped *every* plan at entry 65 —
+// including the row/column plans of the transform in flight).
+TEST(FftPlanCache, SizeSweepPastCapacityStaysCorrectAndBounded) {
+  clear_fft_plan_caches();
+  // 150 distinct odd (Bluestein) sizes — well past the 64-entry capacity.
+  for (std::size_t n = 3; n < 3 + 2 * 150; n += 2) {
+    const auto signal = random_signal(n, n);
+    const auto back = ifft(fft(signal));
+    const double budget = 1e-9 * std::max(peak_magnitude(signal), 1.0);
+    ASSERT_LE(max_abs_diff(back, signal), budget) << "n=" << n;
+  }
+  const FftPlanCacheStats stats = bluestein_plan_cache_stats();
+  EXPECT_LE(stats.size, stats.capacity);
+  EXPECT_GT(stats.misses, stats.capacity);  // the sweep really did churn
+}
+
+TEST(FftPlanCache, HotSizeSurvivesChurn) {
+  clear_fft_plan_caches();
+  // Establish a hot Bluestein size, then churn many cold sizes while
+  // touching the hot one — LRU must keep it resident (the old clear-all
+  // eviction forgot it every 64 distinct sizes).
+  const std::size_t hot = 450;
+  (void)fft(random_signal(hot, 1));
+  for (std::size_t i = 0; i < 200; ++i) {
+    (void)fft(random_signal(101 + 2 * i, i + 2));
+    (void)fft(random_signal(hot, i + 3));
+  }
+  const FftPlanCacheStats stats = bluestein_plan_cache_stats();
+  // 201 hot hits + 200 cold misses: with clear-all eviction the hot size
+  // would miss every ~32 rounds as well.
+  EXPECT_GE(stats.hits, 200u);
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
+}  // namespace
+}  // namespace decam
