@@ -13,11 +13,15 @@
 //   --threads <N>    worker-pool size (default: DECAM_THREADS env or
 //                    hardware concurrency); scores are bit-identical at
 //                    any thread count
+//   --manifest <F>   per-run manifest destination (default
+//                    MANIFEST_<binary>.json next to the cwd)
+//   --no-manifest    suppress the manifest sidecar
 #pragma once
 
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,9 +37,98 @@
 #include "core/calibration.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
+// Build provenance baked in by bench/CMakeLists.txt so manifests can tell
+// apart numbers from different build flavours; "unknown" when a bench is
+// compiled outside that harness.
+#ifndef DECAM_BENCH_BUILD_TYPE
+#define DECAM_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef DECAM_BENCH_SANITIZE
+#define DECAM_BENCH_SANITIZE "unknown"
+#endif
+
 namespace decam::bench {
+
+// -------------------------------------------------------------- manifest --
+// Per-run provenance sidecar (schema `decam-run-manifest-v1`): which binary
+// produced a BENCH_*.json point, with what arguments, thread count, build
+// flavour, and final metric snapshot — so perf numbers stay comparable
+// across PRs and machines. Table benches emit one automatically at exit
+// (see parse_args: --manifest FILE overrides the destination,
+// --no-manifest suppresses it); micro benches write one next to their
+// --json output. Definitions live at the end of this header, after the
+// JSON utilities they reuse.
+
+namespace manifest {
+
+struct RunManifest {
+  std::string binary;              // argv[0] basename
+  std::vector<std::string> argv;   // arguments after the binary name
+  bool quick = false;
+  std::uint64_t seed = 0;
+  int image_width = 0;             // primary work geometry of the run
+  int image_height = 0;
+  int threads = 0;                 // 0 = resolve at serialisation time
+};
+
+/// Serialises `m` plus the current MetricsRegistry snapshot as one
+/// `decam-run-manifest-v1` document.
+inline std::string manifest_json(const RunManifest& m);
+
+/// Validates a manifest document; empty string on success, else the first
+/// violation.
+inline std::string validate_manifest_json(std::string_view text);
+
+/// manifest_json -> file; returns false (with a stderr note) on I/O error.
+inline bool write_manifest(const RunManifest& m, const std::string& path);
+
+/// "MANIFEST_<binary basename>.json"
+inline std::string default_manifest_path(const char* argv0);
+
+namespace detail {
+
+inline RunManifest& pending() {
+  static RunManifest instance;
+  return instance;
+}
+
+inline std::string& pending_path() {
+  static std::string path;
+  return path;
+}
+
+inline bool& pending_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+inline void write_pending() {
+  if (!pending_enabled() || pending_path().empty()) return;
+  if (write_manifest(pending(), pending_path())) {
+    std::fprintf(stderr, "wrote run manifest %s\n", pending_path().c_str());
+  }
+}
+
+/// Registers the atexit emission hook exactly once.
+inline void arm() {
+  static const bool armed = [] {
+    // Construct the registry singleton before registering the hook:
+    // destructors and atexit callbacks share one LIFO list, so a registry
+    // first touched later in the run would be torn down before the
+    // manifest snapshot reads it.
+    obs::MetricsRegistry::instance();
+    std::atexit(write_pending);
+    return true;
+  }();
+  (void)armed;
+  pending_enabled() = true;
+}
+
+}  // namespace detail
+}  // namespace manifest
 
 struct BenchArgs {
   core::ExperimentConfig config;
@@ -51,6 +144,16 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.config.min_side = 256;
   args.config.max_side = 512;
   args.config.seed = 42;
+  manifest::RunManifest& run = manifest::detail::pending();
+  manifest::detail::pending_path() = manifest::default_manifest_path(argv[0]);
+  {
+    // basename(argv[0]) for the manifest's binary field.
+    const std::string argv0 = argv[0];
+    const std::size_t slash = argv0.find_last_of('/');
+    run.binary = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+  }
+  run.argv.assign(argv + 1, argv + argc);
+  bool want_manifest = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
       args.config.n_train = args.config.n_eval = std::atoi(argv[++i]);
@@ -61,6 +164,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.config.target_width = args.config.target_height = 32;
       args.config.min_side = 128;
       args.config.max_side = 192;
+      run.quick = true;
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       args.use_cache = false;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -70,14 +174,22 @@ inline BenchArgs parse_args(int argc, char** argv) {
         std::exit(2);
       }
       runtime::set_thread_count(threads);
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      manifest::detail::pending_path() = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-manifest") == 0) {
+      want_manifest = false;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--n N] [--seed S] [--quick] [--no-cache] "
-                   "[--threads N]\n",
+                   "[--threads N] [--manifest F] [--no-manifest]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  run.seed = args.config.seed;
+  run.image_width = args.config.target_width;
+  run.image_height = args.config.target_height;
+  if (want_manifest) manifest::detail::arm();
   return args;
 }
 
@@ -369,4 +481,272 @@ inline std::string validate_bench_json(std::string_view text) {
   return {};
 }
 
+/// Schema-checks a `decam-kernel-bench-v1` file; 0 on success. `label` is
+/// the reporting prefix (the bench binary's name).
+inline int validate_file(const std::string& label, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", label.c_str(), path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string error = validate_bench_json(text.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s: %s\n", label.c_str(), path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid decam-kernel-bench-v1 document\n", path.c_str());
+  return 0;
+}
+
+/// Compares freshly measured `results` against the baseline document at
+/// `path`, failing any entry more than `factor`x slower in ns/pixel. Only
+/// names present in both runs are compared (baselines may gain entries a
+/// binary no longer produces, and vice versa). Returns the number of
+/// regressions (or 1 on an unreadable/invalid baseline). The factor is a
+/// tripwire for accidental algorithmic regressions, not a noise gate.
+inline int check_regressions(const std::string& label,
+                             const std::vector<BenchResult>& results,
+                             const std::string& path, double factor = 2.0) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open baseline %s\n", label.c_str(),
+                 path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string error = validate_bench_json(text.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: baseline %s: %s\n", label.c_str(), path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  JsonValue root;
+  JsonParser(text.str()).parse(root);  // validated above
+  const JsonValue& baseline = *root.find("benchmarks");
+
+  std::printf("\nregression check vs %s (fail above %.1fx ns/px):\n",
+              path.c_str(), factor);
+  int regressions = 0;
+  int compared = 0;
+  for (const BenchResult& r : results) {
+    const JsonValue* entry = nullptr;
+    for (const JsonValue& b : baseline.array) {
+      if (b.find("name")->string == r.name) {
+        entry = &b;
+        break;
+      }
+    }
+    if (entry == nullptr) continue;
+    ++compared;
+    const double base_ns = entry->find("ns_per_pixel")->number;
+    const double ratio = r.ns_per_pixel / base_ns;
+    const bool bad = ratio > factor;
+    if (bad || ratio > 1.25) {
+      std::printf("  %-34s %8.3f -> %8.3f ns/px  (%.2fx)%s\n", r.name.c_str(),
+                  base_ns, r.ns_per_pixel, ratio, bad ? "  REGRESSION" : "");
+    }
+    regressions += bad ? 1 : 0;
+  }
+  std::printf("  %d/%zu benchmarks compared, %d regression%s\n", compared,
+              results.size(), regressions, regressions == 1 ? "" : "s");
+  return regressions;
+}
+
 }  // namespace decam::bench::micro
+
+// ----------------------------------------------------- manifest definitions
+// Declared at the top of the header (so parse_args can arm the atexit
+// emission), defined here where the micro JSON utilities exist.
+
+namespace decam::bench::manifest {
+
+namespace detail {
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+inline std::string default_manifest_path(const char* argv0) {
+  const std::string path = argv0;
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return "MANIFEST_" + base + ".json";
+}
+
+inline std::string manifest_json(const RunManifest& m) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"decam-run-manifest-v1\",\n";
+  out << "  \"binary\": \"" << detail::json_escape(m.binary) << "\",\n";
+  out << "  \"argv\": [";
+  for (std::size_t i = 0; i < m.argv.size(); ++i) {
+    out << (i > 0 ? ", " : "") << '"' << detail::json_escape(m.argv[i])
+        << '"';
+  }
+  out << "],\n";
+  out << "  \"build\": {\"type\": \"" DECAM_BENCH_BUILD_TYPE
+         "\", \"sanitize\": \"" DECAM_BENCH_SANITIZE
+         "\", \"compiler\": \""
+      << detail::json_escape(__VERSION__) << "\"},\n";
+  const int threads = m.threads > 0 ? m.threads : runtime::thread_count();
+  char run_buf[256];
+  std::snprintf(run_buf, sizeof(run_buf),
+                "  \"run\": {\"threads\": %d, \"quick\": %s, \"seed\": %llu, "
+                "\"image_width\": %d, \"image_height\": %d},\n",
+                threads, m.quick ? "true" : "false",
+                static_cast<unsigned long long>(m.seed), m.image_width,
+                m.image_height);
+  out << run_buf;
+
+  // Final metric snapshot: every counter and gauge, plus latency summaries
+  // of every histogram. Downstream diffing tools read cache hit rates and
+  // stage costs straight from the sidecar instead of re-running the bench.
+  auto& registry = obs::MetricsRegistry::instance();
+  out << "  \"metrics\": {\n    \"counters\": [";
+  {
+    const auto counters = registry.counter_values();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      out << (i > 0 ? ", " : "") << "{\"name\": \""
+          << detail::json_escape(counters[i].first) << "\", \"value\": "
+          << counters[i].second << '}';
+    }
+  }
+  out << "],\n    \"gauges\": [";
+  {
+    const auto gauges = registry.gauge_values();
+    char buf[64];
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.9g", gauges[i].second);
+      out << (i > 0 ? ", " : "") << "{\"name\": \""
+          << detail::json_escape(gauges[i].first) << "\", \"value\": " << buf
+          << '}';
+    }
+  }
+  out << "],\n    \"histograms\": [";
+  {
+    const auto histograms = registry.histograms();
+    char buf[256];
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      const obs::Histogram& h = *histograms[i].second;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"count\": %llu, \"sum_ms\": %.6f, "
+                    "\"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f}",
+                    detail::json_escape(histograms[i].first).c_str(),
+                    static_cast<unsigned long long>(h.count()), h.sum_ms(),
+                    h.percentile(50.0), h.percentile(95.0),
+                    h.percentile(99.0));
+      out << (i > 0 ? ", " : "") << buf;
+    }
+  }
+  out << "]\n  }\n}\n";
+  return out.str();
+}
+
+inline std::string validate_manifest_json(std::string_view text) {
+  using micro::JsonParser;
+  using micro::JsonValue;
+  JsonValue root;
+  if (!JsonParser(text).parse(root)) return "not parseable as JSON";
+  if (root.kind != JsonValue::Kind::Object) return "root is not an object";
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::String ||
+      schema->string != "decam-run-manifest-v1") {
+    return "missing/wrong schema marker";
+  }
+  const JsonValue* binary = root.find("binary");
+  if (binary == nullptr || binary->kind != JsonValue::Kind::String ||
+      binary->string.empty()) {
+    return "missing non-empty 'binary'";
+  }
+  const JsonValue* argv = root.find("argv");
+  if (argv == nullptr || argv->kind != JsonValue::Kind::Array) {
+    return "missing 'argv' array";
+  }
+  for (const JsonValue& arg : argv->array) {
+    if (arg.kind != JsonValue::Kind::String) return "non-string argv entry";
+  }
+  const JsonValue* build = root.find("build");
+  if (build == nullptr || build->kind != JsonValue::Kind::Object) {
+    return "missing 'build' object";
+  }
+  for (const char* key : {"type", "sanitize", "compiler"}) {
+    const JsonValue* v = build->find(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::String ||
+        v->string.empty()) {
+      return std::string("build without non-empty '") + key + "'";
+    }
+  }
+  const JsonValue* run = root.find("run");
+  if (run == nullptr || run->kind != JsonValue::Kind::Object) {
+    return "missing 'run' object";
+  }
+  const JsonValue* threads = run->find("threads");
+  if (threads == nullptr || threads->kind != JsonValue::Kind::Number ||
+      !(threads->number >= 1.0)) {
+    return "run without positive 'threads'";
+  }
+  const JsonValue* quick = run->find("quick");
+  if (quick == nullptr || quick->kind != JsonValue::Kind::Bool) {
+    return "run without boolean 'quick'";
+  }
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::Object) {
+    return "missing 'metrics' object";
+  }
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    const JsonValue* section = metrics->find(key);
+    if (section == nullptr || section->kind != JsonValue::Kind::Array) {
+      return std::string("metrics without '") + key + "' array";
+    }
+    for (const JsonValue& entry : section->array) {
+      if (entry.kind != JsonValue::Kind::Object) {
+        return std::string(key) + " entry not an object";
+      }
+      const JsonValue* name = entry.find("name");
+      if (name == nullptr || name->kind != JsonValue::Kind::String ||
+          name->string.empty()) {
+        return std::string(key) + " entry without a name";
+      }
+    }
+  }
+  return {};
+}
+
+inline bool write_manifest(const RunManifest& m, const std::string& path) {
+  const std::string doc = manifest_json(m);
+  const std::string error = validate_manifest_json(doc);
+  if (!error.empty()) {
+    // A manifest failing its own schema is a bug, not an I/O hiccup — make
+    // it loud but never take the bench run down with it.
+    std::fprintf(stderr, "manifest: refusing to write %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "manifest: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << doc;
+  out.close();
+  return out.good();
+}
+
+}  // namespace decam::bench::manifest

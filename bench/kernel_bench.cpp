@@ -81,82 +81,13 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-int validate_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "kernel_bench: cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  const std::string error = bench::micro::validate_bench_json(text.str());
-  if (!error.empty()) {
-    std::fprintf(stderr, "kernel_bench: %s: %s\n", path.c_str(),
-                 error.c_str());
-    return 1;
-  }
-  std::printf("%s: valid decam-kernel-bench-v1 document\n", path.c_str());
-  return 0;
-}
-
-// Compares the freshly measured `results` against the baseline document at
-// `path`. Only names present in both runs are compared (quick mode skips
-// nothing today, but baselines may gain entries this binary no longer
-// produces, and vice versa). Returns the number of regressions.
-int check_regressions(const std::vector<BenchResult>& results,
-                      const std::string& path) {
-  constexpr double kFactor = 2.0;
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "kernel_bench: cannot open baseline %s\n",
-                 path.c_str());
-    return 1;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  const std::string error = bench::micro::validate_bench_json(text.str());
-  if (!error.empty()) {
-    std::fprintf(stderr, "kernel_bench: baseline %s: %s\n", path.c_str(),
-                 error.c_str());
-    return 1;
-  }
-  bench::micro::JsonValue root;
-  bench::micro::JsonParser(text.str()).parse(root);  // validated above
-  const bench::micro::JsonValue& baseline = *root.find("benchmarks");
-
-  std::printf("\nregression check vs %s (fail above %.1fx ns/px):\n",
-              path.c_str(), kFactor);
-  int regressions = 0;
-  int compared = 0;
-  for (const BenchResult& r : results) {
-    const bench::micro::JsonValue* entry = nullptr;
-    for (const bench::micro::JsonValue& b : baseline.array) {
-      if (b.find("name")->string == r.name) {
-        entry = &b;
-        break;
-      }
-    }
-    if (entry == nullptr) continue;
-    ++compared;
-    const double base_ns = entry->find("ns_per_pixel")->number;
-    const double ratio = r.ns_per_pixel / base_ns;
-    const bool bad = ratio > kFactor;
-    if (bad || ratio > 1.25) {
-      std::printf("  %-34s %8.3f -> %8.3f ns/px  (%.2fx)%s\n", r.name.c_str(),
-                  base_ns, r.ns_per_pixel, ratio, bad ? "  REGRESSION" : "");
-    }
-    regressions += bad ? 1 : 0;
-  }
-  std::printf("  %d/%zu benchmarks compared, %d regression%s\n", compared,
-              results.size(), regressions, regressions == 1 ? "" : "s");
-  return regressions;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-  if (!opt.validate.empty()) return validate_file(opt.validate);
+  if (!opt.validate.empty()) {
+    return bench::micro::validate_file("kernel_bench", opt.validate);
+  }
 
   // Fixed synthetic inputs. `big` plays the scanned image, `small` the CNN
   // input geometry it round-trips through.
@@ -266,8 +197,27 @@ int main(int argc, char** argv) {
     out.close();
     std::printf("\nwrote %s (%zu benchmarks)\n", opt.out.c_str(),
                 results.size());
+
+    // Provenance sidecar: BENCH_foo.json -> BENCH_foo.manifest.json, so a
+    // refreshed baseline carries the build flavour and metric snapshot of
+    // the run that produced it.
+    bench::manifest::RunManifest manifest;
+    manifest.binary = "kernel_bench";
+    manifest.argv.assign(argv + 1, argv + argc);
+    manifest.quick = opt.quick;
+    manifest.seed = 7;
+    manifest.image_width = big.width();
+    manifest.image_height = big.height();
+    std::string manifest_path = opt.out;
+    const std::size_t dot = manifest_path.rfind(".json");
+    manifest_path = dot == std::string::npos
+                        ? manifest_path + ".manifest.json"
+                        : manifest_path.substr(0, dot) + ".manifest.json";
+    (void)bench::manifest::write_manifest(manifest, manifest_path);
   }
-  if (!opt.regress.empty() && check_regressions(results, opt.regress) != 0) {
+  if (!opt.regress.empty() &&
+      bench::micro::check_regressions("kernel_bench", results, opt.regress) !=
+          0) {
     return 1;
   }
   return 0;

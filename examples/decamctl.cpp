@@ -38,11 +38,17 @@
 #include "core/scaling_detector.h"
 #include "core/steganalysis_detector.h"
 #include "imaging/image_io.h"
+#include "imaging/kernels.h"
+#include "obs/memstats.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "report/table.h"
 #include "runtime/parallel.h"
+#include "signal/fft_plan.h"
 #include "signal/spectrum.h"
 
 using namespace decam;
@@ -56,9 +62,14 @@ namespace {
       "  craft <source> <target> <out> [--algo A] [--eps E]\n"
       "  scan <image|dir>... [--width W] [--height H] [--algo A]\n"
       "       [--profile F] [--stats] [--json] [--threads N]\n"
+      "       [--metrics-out F] [--profile-tree] [--stacks-out F]\n"
       "       directories expand to their .ppm/.pgm/.bmp files (sorted);\n"
       "       several inputs are scanned in parallel, one line per file\n"
-      "       in input order; exit 1 = load failure, 3 = attack found\n"
+      "       in input order; exit 1 = load failure, 3 = attack found;\n"
+      "       --metrics-out writes an OpenMetrics exposition of every\n"
+      "       counter/gauge/histogram (SIGUSR1 re-dumps it mid-run);\n"
+      "       --profile-tree prints the hierarchical stage profile,\n"
+      "       --stacks-out writes flamegraph-compatible collapsed stacks\n"
       "  calibrate <benign...> --out F [--percentile P] [--margin M]\n"
       "            [--width W]\n"
       "            [--height H] [--algo A] [--threads N]\n"
@@ -107,16 +118,31 @@ struct Options {
   double margin = 1.0;  // safety factor widening small-sample thresholds
   std::string profile;
   std::string out;
+  std::string metrics_out;   // OpenMetrics exposition destination
+  std::string stacks_out;    // collapsed-stack (flamegraph) destination
   int threads = 0;  // 0 = DECAM_THREADS env / hardware default
   bool stats = false;
   bool json = false;
+  bool profile_tree = false;
 };
 
 Options parse(int argc, char** argv, int first) {
   Options options;
   for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
@@ -139,10 +165,16 @@ Options parse(int argc, char** argv, int first) {
     } else if (arg == "--threads") {
       options.threads = std::atoi(next().c_str());
       if (options.threads < 1) usage();
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next();
+    } else if (arg == "--stacks-out") {
+      options.stacks_out = next();
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--profile-tree") {
+      options.profile_tree = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -341,10 +373,28 @@ int cmd_scan(const Options& options) {
 
   const core::EnsembleDetector ensemble{members};
 
-  // Fan the files out over the pool; parallel_map keeps input order.
-  const std::vector<ScanOutcome> outcomes = runtime::parallel_map(
-      files,
-      [&](const std::string& path) { return scan_one(path, members, ensemble); });
+  if (options.profile_tree || !options.stacks_out.empty()) {
+    obs::set_profiling_enabled(true);
+  }
+  if (!options.metrics_out.empty()) {
+    obs::install_openmetrics_signal_handler(options.metrics_out);
+  }
+
+  // Fan the files out over the pool; parallel_map keeps input order. The
+  // root span makes the whole scan one profile-tree node, so per-stage self
+  // times sum to the scan wall time.
+  std::vector<ScanOutcome> outcomes;
+  {
+    DECAM_SPAN("scan");
+    outcomes = runtime::parallel_map(files, [&](const std::string& path) {
+      ScanOutcome outcome = scan_one(path, members, ensemble);
+      // Drain a pending SIGUSR1 between images so long scans can be dumped
+      // mid-run (the exchange inside makes concurrent lanes race-free).
+      obs::service_openmetrics_signal_dump();
+      return outcome;
+    });
+  }
+  obs::service_openmetrics_signal_dump();
 
   bool any_error = false;
   bool any_flagged = false;
@@ -403,10 +453,57 @@ int cmd_scan(const Options& options) {
   }
   if (options.stats) {
     // With --json, stdout must stay machine-parseable; stats go to stderr.
-    std::fprintf(options.json ? stderr : stdout,
+    std::FILE* sink = options.json ? stderr : stdout;
+    std::fprintf(sink,
                  "\nper-detector latency, Table 7 ordering "
                  "(paper: CSP < MSE < SSIM):\n%s",
                  obs::latency_table_by_prefix("detector/").render().c_str());
+
+    report::Table cache_table({"cache", "hits", "misses", "hit rate",
+                               "evictions", "entries", "bytes"});
+    const auto add_cache_row = [&](const char* name, std::uint64_t hits,
+                                   std::uint64_t misses,
+                                   std::uint64_t evictions,
+                                   std::size_t entries, std::uint64_t bytes) {
+      const std::uint64_t lookups = hits + misses;
+      cache_table.add_row(
+          {name, std::to_string(hits), std::to_string(misses),
+           lookups > 0
+               ? report::format_percent(static_cast<double>(hits) /
+                                        static_cast<double>(lookups))
+               : "-",
+           std::to_string(evictions), std::to_string(entries),
+           std::to_string(bytes)});
+    };
+    const KernelCacheStats kernels = kernel_cache_stats();
+    add_cache_row("kernel_cache", kernels.hits, kernels.misses,
+                  kernels.evictions, kernels.entries, kernels.resident_bytes);
+    const FftPlanCacheStats fft = fft_plan_cache_stats();
+    add_cache_row("fft_plan_cache", fft.hits, fft.misses, fft.evictions,
+                  fft.size, fft.resident_bytes);
+    const FftPlanCacheStats bluestein = bluestein_plan_cache_stats();
+    add_cache_row("bluestein_plan_cache", bluestein.hits, bluestein.misses,
+                  bluestein.evictions, bluestein.size,
+                  bluestein.resident_bytes);
+    std::fprintf(sink, "\ncache utilisation:\n%s",
+                 cache_table.render().c_str());
+    std::fprintf(sink, "\nresident memory:\n%s",
+                 obs::render_memory_table().render().c_str());
+  }
+  if (options.profile_tree) {
+    std::fprintf(options.json ? stderr : stdout,
+                 "\nstage profile (self-time ordered):\n%s",
+                 obs::render_profile_tree().render().c_str());
+  }
+  if (!options.stacks_out.empty()) {
+    obs::write_collapsed_stacks(options.stacks_out);
+    std::fprintf(stderr, "wrote collapsed stacks to %s\n",
+                 options.stacks_out.c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    obs::write_openmetrics(options.metrics_out);
+    std::fprintf(stderr, "wrote OpenMetrics exposition to %s\n",
+                 options.metrics_out.c_str());
   }
   obs::flush_trace();
   // Shell-friendly: load failures dominate, then detections.

@@ -1,10 +1,25 @@
 #include "core/analysis_context.h"
 
+#include <atomic>
+
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "signal/spectrum.h"
 
 namespace decam::core {
+namespace {
+
+// Derived-image bytes of every AnalysisContext currently alive, across all
+// threads — each context adds its share at construction and removes it on
+// destruction, so sampling is one relaxed load.
+std::atomic<std::uint64_t> g_context_bytes{0};
+
+std::uint64_t image_bytes(const std::optional<Image>& image) {
+  return image.has_value() ? image->size() * sizeof(float) : 0;
+}
+
+}  // namespace
 
 AnalysisContext::AnalysisContext(const Image& input,
                                  const AnalysisContextSpec& spec)
@@ -33,6 +48,33 @@ AnalysisContext::AnalysisContext(const Image& input,
     obs::ScopedTimer timer(spectrum_hist, "context/spectrum");
     spectrum_ = centered_log_spectrum(input, spectrum_workspace());
   }
+
+  static const bool source_registered = [] {
+    obs::register_memory_source("analysis_context", [] {
+      return g_context_bytes.load(std::memory_order_relaxed);
+    });
+    return true;
+  }();
+  (void)source_registered;
+  bytes_ = image_bytes(downscaled_) + image_bytes(round_trip_) +
+           image_bytes(filtered_) + image_bytes(spectrum_);
+  g_context_bytes.fetch_add(bytes_, std::memory_order_relaxed);
+}
+
+AnalysisContext::~AnalysisContext() {
+  g_context_bytes.fetch_sub(bytes_, std::memory_order_relaxed);
+}
+
+AnalysisContext::AnalysisContext(AnalysisContext&& other) noexcept
+    : input_(other.input_),
+      spec_(other.spec_),
+      downscaled_(std::move(other.downscaled_)),
+      round_trip_(std::move(other.round_trip_)),
+      filtered_(std::move(other.filtered_)),
+      spectrum_(std::move(other.spectrum_)),
+      bytes_(other.bytes_) {
+  // The moved-from context must not release our share in its destructor.
+  other.bytes_ = 0;
 }
 
 SpectrumWorkspace& AnalysisContext::spectrum_workspace() {

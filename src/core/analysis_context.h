@@ -19,6 +19,7 @@
 // filter — correctness never depends on the spec lining up.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "imaging/filter.h"
@@ -47,7 +48,12 @@ class AnalysisContext {
   /// histograms.
   AnalysisContext(const Image& input, const AnalysisContextSpec& spec);
 
-  AnalysisContext(AnalysisContext&&) = default;
+  /// Releases this context's contribution to the live-bytes gauge
+  /// (`mem/analysis_context_bytes` — the derived images of every context
+  /// currently alive, across threads).
+  ~AnalysisContext();
+
+  AnalysisContext(AnalysisContext&& other) noexcept;
   AnalysisContext& operator=(AnalysisContext&&) = delete;
   AnalysisContext(const AnalysisContext&) = delete;
   AnalysisContext& operator=(const AnalysisContext&) = delete;
@@ -93,6 +99,7 @@ class AnalysisContext {
   std::optional<Image> round_trip_;
   std::optional<Image> filtered_;
   std::optional<Image> spectrum_;
+  std::uint64_t bytes_ = 0;  // this context's share of the live-bytes gauge
 };
 
 }  // namespace decam::core

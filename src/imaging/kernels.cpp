@@ -9,6 +9,7 @@
 #include <numbers>
 #include <tuple>
 
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 
 namespace decam {
@@ -197,6 +198,13 @@ namespace {
 // dataset with the same few geometries; 64 entries comfortably covers a
 // sweep over all algorithms at several sizes while bounding memory (a table
 // is ~out_size * support * 8 bytes).
+// Heap actually held by a cached table (the vectors' allocations; the
+// struct itself lives inside the shared_ptr control block).
+std::uint64_t table_bytes(const KernelTable& table) {
+  return table.taps.capacity() * sizeof(Tap) +
+         table.offsets.capacity() * sizeof(int);
+}
+
 class KernelTableCache {
  public:
   static constexpr std::size_t kCapacity = 64;
@@ -206,6 +214,7 @@ class KernelTableCache {
     static auto& registry = obs::MetricsRegistry::instance();
     static auto& hit_counter = registry.counter("kernel_cache/hits");
     static auto& miss_counter = registry.counter("kernel_cache/misses");
+    static auto& eviction_counter = registry.counter("kernel_cache/evictions");
     const Key key{in_size, out_size, algo};
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -233,23 +242,30 @@ class KernelTableCache {
     }
     lru_.push_front(key);
     map_.emplace(key, Entry{table, lru_.begin()});
+    resident_bytes_ += table_bytes(*table);
     if (map_.size() > kCapacity) {
-      map_.erase(lru_.back());
+      const auto victim = map_.find(lru_.back());
+      resident_bytes_ -= table_bytes(*victim->second.table);
+      map_.erase(victim);
       lru_.pop_back();
+      ++evictions_;
+      eviction_counter.add();
     }
     return table;
   }
 
   KernelCacheStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return {hits_, misses_, map_.size(), kCapacity};
+    return {hits_, misses_, evictions_, map_.size(), kCapacity,
+            resident_bytes_};
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     lru_.clear();
-    hits_ = misses_ = 0;
+    hits_ = misses_ = evictions_ = 0;
+    resident_bytes_ = 0;
   }
 
  private:
@@ -264,10 +280,18 @@ class KernelTableCache {
   std::list<Key> lru_;  // front = most recently used
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t resident_bytes_ = 0;
 };
 
 KernelTableCache& table_cache() {
   static KernelTableCache cache;
+  static const bool source_registered = [] {
+    obs::register_memory_source(
+        "kernel_cache", [] { return cache.stats().resident_bytes; });
+    return true;
+  }();
+  (void)source_registered;
   return cache;
 }
 

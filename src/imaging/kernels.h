@@ -90,8 +90,10 @@ std::shared_ptr<const KernelTable> get_kernel_table(int in_size, int out_size,
 struct KernelCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t capacity = 0;
+  std::uint64_t resident_bytes = 0;  // heap held by the cached tables
 };
 KernelCacheStats kernel_cache_stats();
 /// Drops every cached table (tests; in-flight shared_ptrs stay valid).

@@ -1,0 +1,97 @@
+#include "obs/memstats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace decam::obs {
+namespace {
+
+struct SourceRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::function<std::uint64_t()>, std::less<>> sources;
+};
+
+SourceRegistry& sources() {
+  // Immortal for the same reason as MetricsRegistry::instance(): sources
+  // register from function-local statics in subsystems whose destruction
+  // order relative to this registry is unknowable, and exporters may run
+  // from atexit hooks.
+  static SourceRegistry* instance = new SourceRegistry();
+  return *instance;
+}
+
+// Reads one "Vm...:  <n> kB" field from /proc/self/status. Returns 0 when
+// the file or the field is missing (non-Linux or restricted /proc).
+std::uint64_t read_status_kb(const char* field) {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      kb = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+}
+
+}  // namespace
+
+void register_memory_source(std::string_view name,
+                            std::function<std::uint64_t()> bytes_fn) {
+  std::lock_guard lock(sources().mutex);
+  sources().sources.insert_or_assign(std::string(name), std::move(bytes_fn));
+}
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
+
+void sample_memory_gauges() {
+  // Copy the callbacks out so a source's own locking (e.g. a cache mutex)
+  // never nests inside the registry mutex.
+  std::vector<std::pair<std::string, std::function<std::uint64_t()>>> polled;
+  {
+    std::lock_guard lock(sources().mutex);
+    polled.assign(sources().sources.begin(), sources().sources.end());
+  }
+  auto& registry = MetricsRegistry::instance();
+  for (const auto& [name, bytes_fn] : polled) {
+    registry.gauge("mem/" + name + "_bytes")
+        .set(static_cast<double>(bytes_fn()));
+  }
+  registry.gauge("mem/process_rss_bytes")
+      .set(static_cast<double>(current_rss_bytes()));
+  registry.gauge("mem/process_peak_rss_bytes")
+      .set(static_cast<double>(peak_rss_bytes()));
+}
+
+report::Table render_memory_table() {
+  sample_memory_gauges();
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& [name, value] : MetricsRegistry::instance().gauge_values()) {
+    if (name.rfind("mem/", 0) == 0) rows.emplace_back(name, value);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  report::Table table({"source", "bytes", "MiB"});
+  for (const auto& [name, value] : rows) {
+    table.add_row({name,
+                   std::to_string(static_cast<std::uint64_t>(value)),
+                   report::format_double(value / (1024.0 * 1024.0))});
+  }
+  return table;
+}
+
+}  // namespace decam::obs

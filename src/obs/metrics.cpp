@@ -100,8 +100,16 @@ void Histogram::reset() {
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry registry;
-  return registry;
+  // Intentionally immortal (never destroyed): metric handles are documented
+  // as stable for the whole process, and they are written from places that
+  // outlive every static-destruction order — pool workers woken during the
+  // global pool's tear-down, atexit exporters, thread_local destructors.
+  // A function-local static would be destroyed before the pool joins its
+  // workers (the registry is first touched after the pool's unique_ptr
+  // finishes dynamic initialization), turning those writes into
+  // use-after-free.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
 }
 
 namespace {

@@ -66,6 +66,12 @@ class Histogram {
 
   void record(double ms);
 
+  /// Samples recorded into bucket `index` (relaxed snapshot, exporters).
+  std::uint64_t bucket_count(int index) const {
+    return buckets_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_ms() const { return sum_.load(std::memory_order_relaxed); }
   /// 0 when empty.

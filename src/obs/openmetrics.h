@@ -1,0 +1,59 @@
+// OpenMetrics / Prometheus text exposition of the MetricsRegistry.
+//
+// export_openmetrics() renders every counter, gauge, and histogram as one
+// OpenMetrics text block (the format the future service daemon will serve
+// over a socket; see DESIGN.md §7):
+//
+//   # TYPE decam_kernel_cache_hits counter
+//   decam_kernel_cache_hits_total 42
+//   # TYPE decam_detector_scaling_seconds histogram
+//   # UNIT decam_detector_scaling_seconds seconds
+//   decam_detector_scaling_seconds_bucket{le="0.001"} 7
+//   decam_detector_scaling_seconds_bucket{le="+Inf"} 9
+//   decam_detector_scaling_seconds_count 9
+//   decam_detector_scaling_seconds_sum 0.0123
+//   # EOF
+//
+// Conventions applied when mapping registry names to metric families:
+//  - names are sanitized to [a-zA-Z0-9_:] ('/' and every other byte become
+//    '_') and prefixed with `decam_`;
+//  - counters gain the mandatory `_total` sample suffix;
+//  - histograms are exposed in seconds (`_seconds` family suffix + UNIT
+//    line); the 128 geometric milliseconds buckets are encoded cumulatively,
+//    emitting only the occupied buckets plus each one's predecessor so the
+//    flat stretches compress away, always ending with the mandatory +Inf
+//    bucket equal to the total count.
+//
+// Memory gauges are re-sampled (obs/memstats.h) at the top of every export
+// so byte figures are current, and a SIGUSR1 helper lets long-running
+// binaries dump the exposition on demand without a scrape socket.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace decam::obs {
+
+/// Sanitized OpenMetrics family name for a registry metric name:
+/// `decam_` prefix, every byte outside [a-zA-Z0-9_:] replaced with '_'.
+std::string openmetrics_name(std::string_view registry_name);
+
+/// Renders the full registry as one OpenMetrics text block, terminated by
+/// `# EOF`. Samples memory gauges first so byte figures are current.
+std::string export_openmetrics();
+
+/// Writes export_openmetrics() to `path` (throws IoError on failure).
+void write_openmetrics(const std::filesystem::path& path);
+
+/// Arms a SIGUSR1 handler that requests an exposition dump to `path`.
+/// The handler only sets a flag (async-signal-safe); callers must invoke
+/// service_openmetrics_signal_dump() periodically (e.g. between images) to
+/// perform the actual write.
+void install_openmetrics_signal_handler(const std::filesystem::path& path);
+
+/// Writes the exposition to the path armed by the installer if a SIGUSR1
+/// arrived since the last call. Returns true when a dump was written.
+bool service_openmetrics_signal_dump();
+
+}  // namespace decam::obs

@@ -1,0 +1,103 @@
+// Hierarchical stage profiler — a low-overhead call tree built from the
+// same Span/ScopedTimer probes that feed tracing (DESIGN.md §7).
+//
+// Every thread owns a private tree of ProfileNodes keyed by (parent, stage
+// name). Entering a span walks one pointer down (creating the child on first
+// visit), leaving it adds the elapsed time and count with relaxed atomics —
+// no locks on the hot path, no per-event allocation after the first visit of
+// a stage. Exporters merge all thread trees into one by stage path, derive
+// per-stage self time (total minus children), and render either a table
+// sorted by self time or the collapsed-stack text format flamegraph.pl and
+// speedscope consume ("a;b;c <self_us>" per line).
+//
+// Gates mirror tracing:
+//  - runtime: DECAM_PROFILE env var (unset / "" / "0" = off), overridable in
+//    process via set_profiling_enabled(); disabled cost is one relaxed
+//    atomic load + branch per span;
+//  - file:    DECAM_PROFILE_FILE names a collapsed-stack destination written
+//    automatically at process exit (or earlier via flush_profile());
+//  - compile time: -DDECAM_OBS_DISABLED removes the probes entirely.
+//
+// Snapshots may run while other threads record: counters are relaxed
+// atomics, so a merged tree is a statistically consistent view, not a
+// barrier (a node's count can momentarily lag its total by one sample).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/table.h"
+
+namespace decam::obs {
+
+/// True when span probes also feed the profiler call tree. First call reads
+/// DECAM_PROFILE once; set_profiling_enabled() overrides afterwards.
+bool profiling_enabled();
+
+/// Programmatic override of the DECAM_PROFILE gate (frontends, tests).
+void set_profiling_enabled(bool enabled);
+
+/// Value of DECAM_PROFILE_FILE, or empty when unset.
+std::string profile_file_path();
+
+namespace detail {
+
+struct ProfileNode;
+
+/// Pushes `name` as the calling thread's current stage and returns the
+/// node to hand back to profile_exit. Returns nullptr when profiling is
+/// disabled (the caller skips the exit). Span/ScopedTimer call these; user
+/// code should use the DECAM_SPAN macro instead.
+ProfileNode* profile_enter(std::string_view name);
+
+/// Pops the stage entered as `node`, attributing `elapsed_us` to it. Must
+/// run on the thread that called profile_enter, in LIFO order (guaranteed
+/// by the RAII probes).
+void profile_exit(ProfileNode* node, double elapsed_us);
+
+}  // namespace detail
+
+/// One stage of the merged profile, in depth-first pre-order.
+struct ProfileEntry {
+  std::string path;    // "a;b;c" — stage names from the root, ';'-joined
+  std::string name;    // last path component
+  int depth = 0;       // 0 = top-level stage
+  std::uint64_t count = 0;
+  double total_ms = 0.0;  // inclusive: this stage and everything below it
+  double self_ms = 0.0;   // total minus the children's totals (>= 0)
+};
+
+/// Merges every thread's tree by stage path. Safe to call while other
+/// threads record (see header comment). Depth-first pre-order, children
+/// sorted by name.
+std::vector<ProfileEntry> profile_snapshot();
+
+/// Drops every recorded stage on every thread (counts and structure);
+/// in-flight spans still exit cleanly. Tests and epoch-based services.
+void reset_profile();
+
+/// The merged tree as an indented table sorted depth-first, children by
+/// descending self time: stage, count, total ms, self ms, self %.
+report::Table render_profile_tree();
+
+/// The merged profile as a flat table of the `limit` largest self-time
+/// stages (0 = all), descending — "where do the microseconds actually go".
+report::Table render_profile_hotspots(std::size_t limit = 0);
+
+/// Collapsed-stack text export: one "path;to;stage <self_us>" line per
+/// stage with nonzero self time. Feed to flamegraph.pl or speedscope.
+std::string collapsed_stacks();
+
+/// Writes collapsed_stacks() to `path` (throws IoError on failure).
+void write_collapsed_stacks(const std::filesystem::path& path);
+
+/// Writes the collapsed stacks to DECAM_PROFILE_FILE if profiling is
+/// enabled, the env var is set, and anything was recorded. Registered to
+/// run at process exit, so `DECAM_PROFILE=1 DECAM_PROFILE_FILE=s.txt
+/// <binary>` needs no cooperation from the binary.
+bool flush_profile();
+
+}  // namespace decam::obs

@@ -1,13 +1,20 @@
 #include "obs/span.h"
 
 #include "obs/clock.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace decam::obs {
 
 Span::Span(std::string_view name) {
-  if (!tracing_enabled()) return;
-  name_ = name;
+  const bool traced = tracing_enabled();
+  const bool profiled = profiling_enabled();
+  if (!traced && !profiled) return;
+  if (traced) {
+    name_ = name;
+    traced_ = true;
+  }
+  if (profiled) frame_ = detail::profile_enter(name);
   start_us_ = now_us();
   active_ = true;
 }
@@ -16,17 +23,29 @@ void Span::finish() {
   if (!active_) return;
   active_ = false;
   const double end_us = now_us();
-  TraceBuffer::instance().add(
-      {std::move(name_), start_us_, end_us - start_us_, current_tid()});
+  // The profile frame must pop even if the gates flipped mid-span, so the
+  // thread's stage stack stays balanced.
+  if (frame_ != nullptr) detail::profile_exit(frame_, end_us - start_us_);
+  if (traced_) {
+    TraceBuffer::instance().add(
+        {std::move(name_), start_us_, end_us - start_us_, current_tid()});
+  }
 }
 
 ScopedTimer::ScopedTimer(std::string_view metric)
     : histogram_(&MetricsRegistry::instance().histogram(metric)),
-      span_name_(metric),
-      start_us_(now_us()) {}
+      span_name_(metric) {
+  if (profiling_enabled()) frame_ = detail::profile_enter(metric);
+  start_us_ = now_us();
+}
 
 ScopedTimer::ScopedTimer(Histogram& histogram, std::string_view span_name)
-    : histogram_(&histogram), span_name_(span_name), start_us_(now_us()) {}
+    : histogram_(&histogram), span_name_(span_name) {
+  if (!span_name_.empty() && profiling_enabled()) {
+    frame_ = detail::profile_enter(span_name);
+  }
+  start_us_ = now_us();
+}
 
 double ScopedTimer::stop() {
   if (!running_) return elapsed_ms_;
@@ -34,6 +53,7 @@ double ScopedTimer::stop() {
   const double end_us = now_us();
   elapsed_ms_ = (end_us - start_us_) / 1000.0;
   histogram_->record(elapsed_ms_);
+  if (frame_ != nullptr) detail::profile_exit(frame_, end_us - start_us_);
   if (!span_name_.empty() && tracing_enabled()) {
     TraceBuffer::instance().add(
         {std::move(span_name_), start_us_, end_us - start_us_, current_tid()});

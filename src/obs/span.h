@@ -1,11 +1,13 @@
 // RAII timing primitives.
 //
-//   Span        — trace-only: when tracing is enabled (obs/trace.h) the
-//                 scope becomes a Chrome trace event; when disabled the
-//                 constructor is one relaxed atomic load and a branch.
+//   Span        — probe-only: when tracing is enabled (obs/trace.h) the
+//                 scope becomes a Chrome trace event; when profiling is
+//                 enabled (obs/profiler.h) it becomes a node of the stage
+//                 call tree; when both are disabled the constructor is two
+//                 relaxed atomic loads and a branch.
 //   ScopedTimer — always times its scope into a MetricsRegistry histogram
 //                 (callers ask for stats explicitly), and additionally
-//                 emits a trace event when tracing is on.
+//                 feeds the trace buffer and profiler when those are on.
 //
 // Instrument library hot paths with the DECAM_SPAN macro so a build with
 // -DDECAM_OBS_DISABLED (CMake -DDECAM_OBS=OFF) compiles the probes out
@@ -19,6 +21,10 @@
 
 namespace decam::obs {
 
+namespace detail {
+struct ProfileNode;  // obs/profiler.h
+}
+
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -26,23 +32,25 @@ class Span {
   Span& operator=(const Span&) = delete;
   ~Span() { finish(); }
 
-  /// Ends the span early (records the trace event once).
+  /// Ends the span early (records the trace event / profile frame once).
   void finish();
   bool active() const { return active_; }
 
  private:
   std::string name_;
+  detail::ProfileNode* frame_ = nullptr;
   double start_us_ = 0.0;
   bool active_ = false;
+  bool traced_ = false;
 };
 
 class ScopedTimer {
  public:
-  /// Times into MetricsRegistry histogram `metric` (and a trace event of
-  /// the same name when tracing is enabled).
+  /// Times into MetricsRegistry histogram `metric` (and a trace event /
+  /// profile frame of the same name when tracing / profiling is enabled).
   explicit ScopedTimer(std::string_view metric);
   /// Times into a caller-held histogram; `span_name` empty suppresses the
-  /// trace event.
+  /// trace event and the profile frame.
   explicit ScopedTimer(Histogram& histogram, std::string_view span_name = {});
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -55,6 +63,7 @@ class ScopedTimer {
  private:
   Histogram* histogram_;
   std::string span_name_;
+  detail::ProfileNode* frame_ = nullptr;
   double start_us_;
   double elapsed_ms_ = 0.0;
   bool running_ = true;
@@ -66,7 +75,8 @@ class ScopedTimer {
 #define DECAM_OBS_CONCAT(a, b) DECAM_OBS_CONCAT_INNER(a, b)
 
 #ifndef DECAM_OBS_DISABLED
-/// Marks the enclosing scope as a trace span (no-op unless DECAM_TRACE).
+/// Marks the enclosing scope as a trace span and profiler stage (no-op
+/// unless DECAM_TRACE / DECAM_PROFILE).
 #define DECAM_SPAN(name) \
   ::decam::obs::Span DECAM_OBS_CONCAT(decam_obs_span_, __LINE__)(name)
 /// Times the enclosing scope into the named registry histogram.

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
 
@@ -13,6 +14,21 @@ namespace decam::runtime {
 namespace {
 
 thread_local bool tl_pool_worker = false;
+
+// Pool telemetry (DESIGN.md §7): queue depth and idle-worker counts are
+// updated under the pool mutex the scheduler already holds, so the gauges
+// cost one relaxed store on paths that were never lock-free to begin with.
+obs::Gauge& queue_depth_gauge() {
+  static auto& gauge =
+      obs::MetricsRegistry::instance().gauge("pool/queue_depth");
+  return gauge;
+}
+
+obs::Gauge& idle_workers_gauge() {
+  static auto& gauge =
+      obs::MetricsRegistry::instance().gauge("pool/idle_workers");
+  return gauge;
+}
 
 }  // namespace
 
@@ -33,6 +49,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  static auto& submitted =
+      obs::MetricsRegistry::instance().counter("pool/tasks_submitted");
+  submitted.add();
   if (workers_.empty()) {
     task();  // degenerate pool: the caller is the only lane
     return;
@@ -40,6 +59,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   wake_.notify_one();
 }
@@ -55,10 +75,15 @@ void ThreadPool::worker_main(int index) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      ++idle_;
+      idle_workers_gauge().set(static_cast<double>(idle_));
       wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      --idle_;
+      idle_workers_gauge().set(static_cast<double>(idle_));
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
     task();
   }
@@ -148,7 +173,11 @@ int wanted_size() { return g_requested > 0 ? g_requested : default_thread_count(
 
 ThreadPool& global_pool() {
   std::lock_guard lock(g_pool_mutex);
-  if (!g_pool) g_pool = std::make_unique<ThreadPool>(wanted_size());
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(wanted_size());
+    obs::MetricsRegistry::instance().gauge("pool/size").set(
+        static_cast<double>(g_pool->size()));
+  }
   return *g_pool;
 }
 

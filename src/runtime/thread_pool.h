@@ -54,6 +54,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stop_ = false;
+  int idle_ = 0;  // workers parked in wait(), feeds pool/idle_workers gauge
 };
 
 /// max(1, std::thread::hardware_concurrency()).

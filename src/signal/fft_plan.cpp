@@ -9,6 +9,7 @@
 #include <numbers>
 
 #include "common/error.h"
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 
 namespace decam {
@@ -152,6 +153,22 @@ void dif_stages(const FftPlan& plan, Complex* a) {
 
 // ----------------------------------------------------------------- cache --
 
+// Heap held by a cached plan, for the resident-bytes gauges. A Bluestein
+// plan's convolution sub-plans are shared_ptrs into the power-of-two cache
+// and are counted there, not here — summing both gauges never double
+// counts.
+std::uint64_t plan_bytes(const FftPlan& plan) {
+  return plan.bitrev.capacity() * sizeof(std::uint32_t) +
+         plan.twiddles.capacity() * sizeof(Complex) +
+         plan.stages.capacity() *
+             sizeof(std::pair<std::uint32_t, std::uint32_t>);
+}
+
+std::uint64_t plan_bytes(const BluesteinPlan& plan) {
+  return plan.chirp.capacity() * sizeof(Complex) +
+         plan.kernel.capacity() * sizeof(Complex);
+}
+
 // Bounded thread-safe LRU, the same shape as imaging's KernelTableCache:
 // lookups under a mutex, plan construction outside it (two threads racing on
 // one key build identical plans; the second insert just reuses the first),
@@ -165,7 +182,8 @@ class PlanLruCache {
   std::shared_ptr<const Plan> get(std::size_t n, bool inverse,
                                   const Build& build,
                                   obs::Counter& hit_counter,
-                                  obs::Counter& miss_counter) {
+                                  obs::Counter& miss_counter,
+                                  obs::Counter& eviction_counter) {
     const std::uint64_t key = (static_cast<std::uint64_t>(n) << 1) |
                               static_cast<std::uint64_t>(inverse);
     {
@@ -189,26 +207,33 @@ class PlanLruCache {
     }
     lru_.push_front(key);
     map_.emplace(key, Entry{plan, lru_.begin()});
+    resident_bytes_ += plan_bytes(*plan);
     if (map_.size() > kCapacity) {
       // Least-recently-used only — never the hot row/column plans a 2-D
       // transform is holding (and shared_ptr keeps even an evicted plan
       // alive until its last user finishes).
-      map_.erase(lru_.back());
+      const auto victim = map_.find(lru_.back());
+      resident_bytes_ -= plan_bytes(*victim->second.plan);
+      map_.erase(victim);
       lru_.pop_back();
+      ++evictions_;
+      eviction_counter.add();
     }
     return plan;
   }
 
   FftPlanCacheStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return {hits_, misses_, map_.size(), kCapacity};
+    return {hits_, misses_, evictions_, map_.size(), kCapacity,
+            resident_bytes_};
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     lru_.clear();
-    hits_ = misses_ = 0;
+    hits_ = misses_ = evictions_ = 0;
+    resident_bytes_ = 0;
   }
 
  private:
@@ -222,15 +247,30 @@ class PlanLruCache {
   std::list<std::uint64_t> lru_;  // front = most recently used
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t resident_bytes_ = 0;
 };
 
 PlanLruCache<FftPlan>& pow2_cache() {
   static PlanLruCache<FftPlan> cache;
+  static const bool source_registered = [] {
+    obs::register_memory_source(
+        "fft_plan_cache", [] { return cache.stats().resident_bytes; });
+    return true;
+  }();
+  (void)source_registered;
   return cache;
 }
 
 PlanLruCache<BluesteinPlan>& bluestein_cache() {
   static PlanLruCache<BluesteinPlan> cache;
+  static const bool source_registered = [] {
+    obs::register_memory_source(
+        "bluestein_plan_cache",
+        [] { return cache.stats().resident_bytes; });
+    return true;
+  }();
+  (void)source_registered;
   return cache;
 }
 
@@ -271,7 +311,8 @@ std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n, bool inverse) {
   static auto& registry = obs::MetricsRegistry::instance();
   static auto& hits = registry.counter("fft_plan_cache/hits");
   static auto& misses = registry.counter("fft_plan_cache/misses");
-  return pow2_cache().get(n, inverse, make_fft_plan, hits, misses);
+  static auto& evictions = registry.counter("fft_plan_cache/evictions");
+  return pow2_cache().get(n, inverse, make_fft_plan, hits, misses, evictions);
 }
 
 std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
@@ -279,7 +320,9 @@ std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
   static auto& registry = obs::MetricsRegistry::instance();
   static auto& hits = registry.counter("bluestein_plan_cache/hits");
   static auto& misses = registry.counter("bluestein_plan_cache/misses");
-  return bluestein_cache().get(n, inverse, make_bluestein_plan, hits, misses);
+  static auto& evictions = registry.counter("bluestein_plan_cache/evictions");
+  return bluestein_cache().get(n, inverse, make_bluestein_plan, hits, misses,
+                               evictions);
 }
 
 FftPlanCacheStats fft_plan_cache_stats() { return pow2_cache().stats(); }

@@ -65,8 +65,12 @@ std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
 struct FftPlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t size = 0;
   std::size_t capacity = 0;
+  std::uint64_t resident_bytes = 0;  // heap held by the cached plans; a
+                                     // Bluestein plan's convolution sub-plans
+                                     // count in the power-of-two cache only
 };
 
 /// Separate stats for the two plan kinds (a Bluestein miss also costs one

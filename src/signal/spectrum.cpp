@@ -1,12 +1,48 @@
 #include "signal/spectrum.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 
+#include "obs/memstats.h"
+
 namespace decam {
 namespace {
+
+// Bytes held by every live thread's spectrum workspace, for the
+// `mem/spectrum_workspace_bytes` gauge. Each thread reconciles its own
+// contribution against this total when it touches its workspace (and on
+// thread exit), so sampling is one relaxed load.
+std::atomic<std::uint64_t> g_workspace_bytes{0};
+
+std::uint64_t workspace_bytes(const SpectrumWorkspace& ws) {
+  return ws.freq.capacity() * sizeof(Complex) +
+         ws.logmag.capacity() * sizeof(double);
+}
+
+struct TrackedWorkspace {
+  SpectrumWorkspace ws;
+  std::uint64_t accounted = 0;
+
+  // Folds any capacity change since the last call into the global total.
+  // Runs at workspace handout, so a buffer grown during the previous use is
+  // visible to the next export (off by at most one image's growth).
+  void reconcile() {
+    const std::uint64_t now = workspace_bytes(ws);
+    if (now >= accounted) {
+      g_workspace_bytes.fetch_add(now - accounted, std::memory_order_relaxed);
+    } else {
+      g_workspace_bytes.fetch_sub(accounted - now, std::memory_order_relaxed);
+    }
+    accounted = now;
+  }
+
+  ~TrackedWorkspace() {
+    g_workspace_bytes.fetch_sub(accounted, std::memory_order_relaxed);
+  }
+};
 
 // log(u) for u >= 1, accurate to ~1e-12 absolute — a branch-free
 // exponent/mantissa split plus a short atanh series, so the per-bin
@@ -73,8 +109,16 @@ void shifted_log_magnitudes(const Image& img, SpectrumWorkspace& ws) {
 }  // namespace
 
 SpectrumWorkspace& thread_spectrum_workspace() {
-  thread_local SpectrumWorkspace workspace;
-  return workspace;
+  thread_local TrackedWorkspace tracked;
+  static const bool source_registered = [] {
+    obs::register_memory_source("spectrum_workspace", [] {
+      return g_workspace_bytes.load(std::memory_order_relaxed);
+    });
+    return true;
+  }();
+  (void)source_registered;
+  tracked.reconcile();
+  return tracked.ws;
 }
 
 std::vector<double> centered_log_magnitudes(const Image& img) {
@@ -83,7 +127,9 @@ std::vector<double> centered_log_magnitudes(const Image& img) {
   // the next call through this entry point).
   SpectrumWorkspace& ws = thread_spectrum_workspace();
   shifted_log_magnitudes(img, ws);
-  return std::move(ws.logmag);
+  std::vector<double> out = std::move(ws.logmag);
+  thread_spectrum_workspace();  // fold the capacity change into the gauge
+  return out;
 }
 
 Image centered_log_spectrum(const Image& img, SpectrumWorkspace& workspace) {
@@ -103,6 +149,7 @@ Image centered_log_spectrum(const Image& img, SpectrumWorkspace& workspace) {
   for (std::size_t i = 0; i < logmag.size(); ++i) {
     plane[i] = static_cast<float>(255.0 * (logmag[i] - lo) / span);
   }
+  thread_spectrum_workspace();  // fold any scratch growth into the gauge
   return out;
 }
 

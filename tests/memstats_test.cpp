@@ -1,0 +1,75 @@
+// Memory accounting (obs/memstats.h): source registration, gauge
+// publication, /proc RSS sampling, and the rendered table.
+#include "obs/memstats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace decam::obs {
+namespace {
+
+TEST(MemStatsTest, RegisteredSourceAppearsAsGauge) {
+  register_memory_source("memtest_fixed", [] { return std::uint64_t{12345}; });
+  sample_memory_gauges();
+  EXPECT_EQ(MetricsRegistry::instance().gauge("mem/memtest_fixed_bytes")
+                .value(),
+            12345.0);
+}
+
+TEST(MemStatsTest, SourcesTrackLiveValues) {
+  static std::atomic<std::uint64_t> bytes{100};
+  register_memory_source("memtest_live", [] { return bytes.load(); });
+  sample_memory_gauges();
+  EXPECT_EQ(
+      MetricsRegistry::instance().gauge("mem/memtest_live_bytes").value(),
+      100.0);
+  bytes.store(250);
+  sample_memory_gauges();
+  EXPECT_EQ(
+      MetricsRegistry::instance().gauge("mem/memtest_live_bytes").value(),
+      250.0);
+}
+
+TEST(MemStatsTest, ReRegistrationReplacesTheSource) {
+  register_memory_source("memtest_swap", [] { return std::uint64_t{1}; });
+  register_memory_source("memtest_swap", [] { return std::uint64_t{2}; });
+  sample_memory_gauges();
+  EXPECT_EQ(
+      MetricsRegistry::instance().gauge("mem/memtest_swap_bytes").value(),
+      2.0);
+}
+
+TEST(MemStatsTest, ProcessRssIsSampledFromProc) {
+  // /proc/self/status exists on every platform this repo targets; both
+  // figures are whole megabytes for any real process.
+  const std::uint64_t rss = current_rss_bytes();
+  const std::uint64_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 1u << 20);
+  EXPECT_GE(peak, rss);
+  sample_memory_gauges();
+  EXPECT_GT(
+      MetricsRegistry::instance().gauge("mem/process_rss_bytes").value(),
+      0.0);
+  EXPECT_GT(MetricsRegistry::instance()
+                .gauge("mem/process_peak_rss_bytes")
+                .value(),
+            0.0);
+}
+
+TEST(MemStatsTest, RenderedTableListsSourcesLargestFirst) {
+  register_memory_source("memtest_big", [] { return std::uint64_t{1 << 20}; });
+  register_memory_source("memtest_small", [] { return std::uint64_t{64}; });
+  const std::string table = render_memory_table().render();
+  const std::size_t big = table.find("memtest_big");
+  const std::size_t small = table.find("memtest_small");
+  ASSERT_NE(big, std::string::npos) << table;
+  ASSERT_NE(small, std::string::npos) << table;
+  EXPECT_LT(big, small) << table;
+}
+
+}  // namespace
+}  // namespace decam::obs

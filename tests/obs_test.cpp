@@ -297,6 +297,68 @@ TEST_F(ObsTest, HistogramSingleSamplePercentiles) {
   EXPECT_DOUBLE_EQ(histogram.percentile(99.0), 42.0);
 }
 
+TEST_F(ObsTest, HistogramOverflowSamplesLandInLastBucket) {
+  Histogram histogram;
+  histogram.record(1e12);  // far beyond the ~1 h top bucket bound
+  histogram.record(1e12);
+  EXPECT_EQ(histogram.bucket_count(Histogram::kBucketCount - 1), 2u);
+  EXPECT_EQ(histogram.count(), 2u);
+  // Percentiles of an overflow-only histogram clamp to the exact observed
+  // values instead of the (meaningless) finite bucket bound.
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 1e12);
+  EXPECT_DOUBLE_EQ(histogram.max_ms(), 1e12);
+}
+
+TEST_F(ObsTest, HistogramPercentileBoundaryInterpolation) {
+  Histogram histogram;
+  // Two samples in well-separated buckets: any interior percentile must sit
+  // within the observed range and the exact boundaries are the extremes.
+  histogram.record(1.0);
+  histogram.record(512.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(100.0), 512.0);
+  for (double p = 1.0; p < 100.0; p += 7.0) {
+    const double value = histogram.percentile(p);
+    EXPECT_GE(value, 1.0) << "p=" << p;
+    EXPECT_LE(value, 512.0) << "p=" << p;
+  }
+  // Out-of-domain p clamps to the extremes rather than extrapolating.
+  EXPECT_DOUBLE_EQ(histogram.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(250.0), 512.0);
+}
+
+// Exporters snapshot histograms while hot paths keep recording (relaxed
+// atomics; the header documents the "statistically consistent" contract).
+// Primarily a TSan target; the reader also checks it never observes
+// impossible values.
+TEST_F(ObsTest, HistogramSnapshotWhileRecording) {
+  Histogram histogram;
+  constexpr int kRecords = 50000;
+  std::thread writer([&histogram] {
+    for (int i = 0; i < kRecords; ++i) {
+      histogram.record(static_cast<double>(i % 100) + 0.5);
+    }
+  });
+  std::uint64_t last_count = 0;
+  while (last_count < kRecords) {
+    const std::uint64_t count = histogram.count();
+    EXPECT_GE(count, last_count);  // counts only grow
+    last_count = count;
+    std::uint64_t bucket_sum = 0;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      bucket_sum += histogram.bucket_count(i);
+    }
+    EXPECT_LE(bucket_sum, static_cast<std::uint64_t>(kRecords));
+    const double p50 = histogram.percentile(50.0);
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LE(p50, 100.0);
+  }
+  writer.join();
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kRecords));
+  EXPECT_DOUBLE_EQ(histogram.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max_ms(), 99.5);
+}
+
 // ---------------------------------------------------------------------------
 // Thread hammering
 

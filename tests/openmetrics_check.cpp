@@ -1,0 +1,266 @@
+// Strict line-grammar validator for the OpenMetrics text expositions decam
+// binaries write (obs/openmetrics.h). Run as a ctest against real decamctl
+// output (tests/openmetrics_test.cmake), and by hand:
+//
+//   openmetrics_check metrics.txt
+//
+// Validates the subset of the OpenMetrics 1.0 text format the exporter
+// emits — which is also the subset a scraper must be able to rely on:
+//  - every line is metadata (`# TYPE f <counter|gauge|histogram>`,
+//    `# UNIT f <unit>`, `# EOF`) or a sample (`name[{labels}] value`);
+//    no blank lines, no other comments;
+//  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, values parse as floats;
+//  - every sample belongs to a family declared by a preceding TYPE line,
+//    with the suffix its type mandates (counters `_total`; histograms
+//    `_bucket`/`_count`/`_sum`; gauges bare);
+//  - TYPE is declared at most once per family, UNIT only for a declared
+//    family whose name ends with the unit;
+//  - histogram buckets carry exactly one le="..." label with strictly
+//    increasing bounds and non-decreasing cumulative counts, end with a
+//    `+Inf` bucket, and agree with the `_count` sample;
+//  - the exposition ends with exactly one `# EOF`, nothing after it.
+//
+// Exits 0 when the file conforms, 1 with one line per violation otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct HistogramState {
+  double last_le = -1.0;
+  long long last_cumulative = -1;
+  bool saw_inf = false;
+  long long inf_count = 0;
+  bool saw_count = false;
+  long long count_value = 0;
+  bool saw_sum = false;
+};
+
+struct Checker {
+  std::map<std::string, std::string> families;  // name -> type
+  std::map<std::string, HistogramState> histograms;
+  int errors = 0;
+  int line_no = 0;
+
+  void fail(const std::string& message) {
+    std::fprintf(stderr, "line %d: %s\n", line_no, message.c_str());
+    ++errors;
+  }
+
+  static bool valid_name(const std::string& name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+             c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name) {
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+  }
+
+  static bool valid_float(const std::string& text) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    (void)std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size();
+  }
+
+  void check_metadata(const std::string& line) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos) return fail("TYPE without a type");
+      const std::string name = rest.substr(0, space);
+      const std::string type = rest.substr(space + 1);
+      if (!valid_name(name)) return fail("invalid family name: " + name);
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown metric type: " + type);
+      }
+      if (families.count(name) != 0) {
+        return fail("duplicate TYPE for family " + name);
+      }
+      families[name] = type;
+      return;
+    }
+    if (line.rfind("# UNIT ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos) return fail("UNIT without a unit");
+      const std::string name = rest.substr(0, space);
+      const std::string unit = rest.substr(space + 1);
+      const auto family = families.find(name);
+      if (family == families.end()) {
+        return fail("UNIT for undeclared family " + name);
+      }
+      if (name.size() <= unit.size() + 1 ||
+          name.compare(name.size() - unit.size() - 1, unit.size() + 1,
+                       "_" + unit) != 0) {
+        return fail("family " + name + " does not end with unit " + unit);
+      }
+      return;
+    }
+    fail("unrecognised comment line: " + line);
+  }
+
+  // Splits `sample` into (name, labels, value); empty labels when absent.
+  void check_sample(const std::string& line) {
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      return fail("sample without a value: " + line);
+    }
+    const std::string value_text = line.substr(space + 1);
+    if (!valid_float(value_text)) {
+      return fail("unparseable sample value: " + value_text);
+    }
+    std::string name = line.substr(0, space);
+    std::string labels;
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') return fail("unterminated label set: " + line);
+      labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    if (!valid_name(name)) return fail("invalid sample name: " + name);
+
+    // Resolve the family: longest declared prefix whose mandated suffix
+    // matches what remains of the sample name.
+    const struct {
+      const char* suffix;
+      const char* type;
+    } kSuffixes[] = {{"_total", "counter"}, {"_bucket", "histogram"},
+                     {"_count", "histogram"}, {"_sum", "histogram"},
+                     {"", "gauge"}};
+    for (const auto& [suffix, type] : kSuffixes) {
+      const std::string s = suffix;
+      if (name.size() <= s.size() ||
+          name.compare(name.size() - s.size(), s.size(), s) != 0) {
+        continue;
+      }
+      const std::string family = name.substr(0, name.size() - s.size());
+      const auto declared = families.find(family);
+      if (declared == families.end() || declared->second != type) continue;
+      if (s == "_bucket") return check_bucket(family, labels, value_text);
+      if (!labels.empty()) {
+        return fail("unexpected labels on " + name);
+      }
+      if (s == "_count") {
+        HistogramState& state = histograms[family];
+        state.saw_count = true;
+        state.count_value = std::atoll(value_text.c_str());
+        return;
+      }
+      if (s == "_sum") {
+        histograms[family].saw_sum = true;
+        return;
+      }
+      return;  // counter/gauge sample, fully checked
+    }
+    fail("sample does not match any declared family: " + name);
+  }
+
+  void check_bucket(const std::string& family, const std::string& labels,
+                    const std::string& value_text) {
+    const std::string prefix = "le=\"";
+    if (labels.rfind(prefix, 0) != 0 || labels.back() != '"') {
+      return fail("bucket of " + family + " without an le label");
+    }
+    const std::string le =
+        labels.substr(prefix.size(), labels.size() - prefix.size() - 1);
+    HistogramState& state = histograms[family];
+    const long long cumulative = std::atoll(value_text.c_str());
+    if (cumulative < state.last_cumulative) {
+      return fail("bucket counts of " + family + " decreased");
+    }
+    state.last_cumulative = cumulative;
+    if (le == "+Inf") {
+      if (state.saw_inf) return fail("duplicate +Inf bucket in " + family);
+      state.saw_inf = true;
+      state.inf_count = cumulative;
+      return;
+    }
+    if (state.saw_inf) {
+      return fail("finite bucket after +Inf in " + family);
+    }
+    if (!valid_float(le)) return fail("unparseable le bound: " + le);
+    const double bound = std::strtod(le.c_str(), nullptr);
+    if (bound <= state.last_le) {
+      return fail("le bounds of " + family + " not increasing");
+    }
+    state.last_le = bound;
+  }
+
+  void finish() {
+    ++line_no;
+    for (const auto& [family, state] : histograms) {
+      if (!state.saw_inf) fail(family + ": histogram without +Inf bucket");
+      if (!state.saw_count) fail(family + ": histogram without _count");
+      if (!state.saw_sum) fail(family + ": histogram without _sum");
+      if (state.saw_inf && state.saw_count &&
+          state.inf_count != state.count_value) {
+        fail(family + ": +Inf bucket disagrees with _count");
+      }
+    }
+    for (const auto& [family, type] : families) {
+      if (type == "histogram" && histograms.count(family) == 0) {
+        fail(family + ": histogram family without samples");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s METRICS_FILE\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 2;
+  }
+
+  Checker checker;
+  std::string line;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    ++checker.line_no;
+    if (saw_eof) {
+      checker.fail("content after # EOF");
+      break;
+    }
+    if (line.empty()) {
+      checker.fail("blank line");
+      continue;
+    }
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line[0] == '#') {
+      checker.check_metadata(line);
+    } else {
+      checker.check_sample(line);
+    }
+  }
+  if (!saw_eof) {
+    ++checker.line_no;
+    checker.fail("missing terminating # EOF");
+  }
+  checker.finish();
+
+  if (checker.errors > 0) {
+    std::fprintf(stderr, "%s: %d violation%s\n", argv[1], checker.errors,
+                 checker.errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("%s: conformant OpenMetrics exposition\n", argv[1]);
+  return 0;
+}

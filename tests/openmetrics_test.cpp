@@ -1,0 +1,154 @@
+// OpenMetrics exposition (obs/openmetrics.h): name sanitization, the
+// counter/gauge/histogram encodings, cumulative bucket arithmetic, and the
+// terminating EOF marker.
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace decam::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool contains_line(const std::string& text, const std::string& line) {
+  for (const std::string& l : lines_of(text)) {
+    if (l == line) return true;
+  }
+  return false;
+}
+
+class OpenMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(OpenMetricsTest, NamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(openmetrics_name("kernel_cache/hits"),
+            "decam_kernel_cache_hits");
+  EXPECT_EQ(openmetrics_name("battery/score"), "decam_battery_score");
+  EXPECT_EQ(openmetrics_name("weird name-with.bytes"),
+            "decam_weird_name_with_bytes");
+  // Colons and underscores are legal and survive.
+  EXPECT_EQ(openmetrics_name("a:b_c"), "decam_a:b_c");
+}
+
+TEST_F(OpenMetricsTest, CounterGainsTotalSuffixAndTypeLine) {
+  MetricsRegistry::instance().counter("omtest/clicks").add(42);
+  const std::string text = export_openmetrics();
+  EXPECT_TRUE(
+      contains_line(text, "# TYPE decam_omtest_clicks counter"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "decam_omtest_clicks_total 42")) << text;
+}
+
+TEST_F(OpenMetricsTest, GaugeIsExportedBare) {
+  MetricsRegistry::instance().gauge("omtest/depth").set(7.5);
+  const std::string text = export_openmetrics();
+  EXPECT_TRUE(contains_line(text, "# TYPE decam_omtest_depth gauge")) << text;
+  EXPECT_TRUE(contains_line(text, "decam_omtest_depth 7.5")) << text;
+}
+
+TEST_F(OpenMetricsTest, ExpositionEndsWithSingleEofMarker) {
+  MetricsRegistry::instance().counter("omtest/one").add();
+  const std::string text = export_openmetrics();
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+  int eof_count = 0;
+  for (const std::string& line : lines) {
+    if (line == "# EOF") ++eof_count;
+    EXPECT_FALSE(line.empty()) << "blank line in exposition";
+  }
+  EXPECT_EQ(eof_count, 1);
+}
+
+TEST_F(OpenMetricsTest, HistogramBucketsAreCumulativeInSeconds) {
+  Histogram& histogram =
+      MetricsRegistry::instance().histogram("omtest/lat");
+  histogram.record(0.5);   // ms
+  histogram.record(2.0);
+  histogram.record(8.0);
+  const std::string text = export_openmetrics();
+  EXPECT_TRUE(
+      contains_line(text, "# TYPE decam_omtest_lat_seconds histogram"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "# UNIT decam_omtest_lat_seconds seconds"))
+      << text;
+
+  // Walk the bucket samples: le values and cumulative counts must both be
+  // non-decreasing, and the mandatory +Inf bucket equals the total count.
+  double prev_le = 0.0;
+  long prev_count = -1;
+  bool saw_inf = false;
+  for (const std::string& line : lines_of(text)) {
+    const std::string prefix = "decam_omtest_lat_seconds_bucket{le=\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t close = line.find('"', prefix.size());
+    ASSERT_NE(close, std::string::npos);
+    const std::string le = line.substr(prefix.size(), close - prefix.size());
+    const long count = std::stol(line.substr(close + 2));
+    EXPECT_GE(count, prev_count) << line;
+    prev_count = count;
+    if (le == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(count, 3);
+    } else {
+      const double le_value = std::stod(le);
+      EXPECT_GT(le_value, prev_le) << line;
+      prev_le = le_value;
+      EXPECT_LT(le_value, 1.0);  // seconds, not milliseconds
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_TRUE(contains_line(text, "decam_omtest_lat_seconds_count 3"))
+      << text;
+  // Sum converted to seconds: 10.5 ms.
+  EXPECT_TRUE(contains_line(text, "decam_omtest_lat_seconds_sum 0.0105"))
+      << text;
+}
+
+TEST_F(OpenMetricsTest, EmptyHistogramStillWellFormed) {
+  (void)MetricsRegistry::instance().histogram("omtest/idle");
+  const std::string text = export_openmetrics();
+  EXPECT_TRUE(
+      contains_line(text, "decam_omtest_idle_seconds_bucket{le=\"+Inf\"} 0"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "decam_omtest_idle_seconds_count 0"))
+      << text;
+}
+
+TEST_F(OpenMetricsTest, WriteOpenMetricsProducesReadableFile) {
+  MetricsRegistry::instance().counter("omtest/file").add(5);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "decam_omtest_metrics.txt";
+  write_openmetrics(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_TRUE(contains_line(content.str(), "decam_omtest_file_total 5"));
+  std::filesystem::remove(path);
+}
+
+TEST_F(OpenMetricsTest, SignalDumpIsNoOpWithoutSignal) {
+  // No SIGUSR1 arrived: the service call must not write anything.
+  EXPECT_FALSE(service_openmetrics_signal_dump());
+}
+
+}  // namespace
+}  // namespace decam::obs
