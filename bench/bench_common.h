@@ -300,8 +300,9 @@ inline std::string bench_json(const std::vector<BenchResult>& results,
 
 // ------------------------------------------------------------------ JSON --
 // Minimal JSON reader for schema validation: parses objects/arrays/strings/
-// numbers/bools into a tiny DOM. Not a general-purpose parser (no \uXXXX,
-// no nesting limits) — just enough to hold the bench document to account.
+// numbers/bools into a tiny DOM, including \uXXXX escapes (with surrogate
+// pairs, decoded to UTF-8). Not a general-purpose parser (no nesting
+// limits) — just enough to hold the bench document to account.
 
 struct JsonValue {
   enum class Kind { Null, Bool, Number, String, Array, Object } kind =
@@ -374,6 +375,66 @@ class JsonParser {
     }
     return parse_number(out);
   }
+  // Four hex digits -> code unit; false on malformed input.
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      unsigned digit = 0;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        digit = static_cast<unsigned>(h - 'a') + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        digit = static_cast<unsigned>(h - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = out * 16 + digit;
+    }
+    return true;
+  }
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+  // \uXXXX after the backslash+u have been consumed. A high surrogate must
+  // be followed by `\uDC00..\uDFFF`; the pair decodes to one code point.
+  // An unpaired surrogate is malformed (strict, like the number grammar).
+  bool parse_unicode_escape(std::string& out) {
+    unsigned unit = 0;
+    if (!parse_hex4(unit)) return false;
+    if (unit >= 0xD800 && unit <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return false;
+      }
+      pos_ += 2;
+      unsigned low = 0;
+      if (!parse_hex4(low)) return false;
+      if (low < 0xDC00 || low > 0xDFFF) return false;
+      append_utf8(out,
+                  0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00));
+      return true;
+    }
+    if (unit >= 0xDC00 && unit <= 0xDFFF) return false;  // lone low surrogate
+    append_utf8(out, unit);
+    return true;
+  }
   bool parse_string(std::string& out) {
     if (!consume('"')) return false;
     out.clear();
@@ -384,6 +445,9 @@ class JsonParser {
         switch (esc) {
           case 'n': c = '\n'; break;
           case 't': c = '\t'; break;
+          case 'u':
+            if (!parse_unicode_escape(out)) return false;
+            continue;
           default: c = esc; break;
         }
       }

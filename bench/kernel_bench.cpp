@@ -32,10 +32,13 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "core/steganalysis_detector.h"
 #include "data/rng.h"
 #include "data/synth.h"
 #include "imaging/filter.h"
 #include "imaging/scale.h"
+#include "metrics/fused.h"
+#include "metrics/histogram.h"
 #include "signal/spectrum.h"
 
 namespace {
@@ -177,6 +180,29 @@ int main(int argc, char** argv) {
     config.target_width = config.target_height = cnn;
     const core::Battery battery(config);
     bench("battery/score", big_px, [&] { (void)battery.score(big); });
+
+    // The same score on a prebuilt context isolates the metric reductions
+    // from intermediate construction (round trip, filter, spectrum).
+    const core::AnalysisContext context(big, battery.context_spec());
+    bench("battery/score_fused", big_px,
+          [&] { (void)battery.score(context); });
+
+    // Per-stage breakdown over the same prebuilt intermediates, so a
+    // regression in one stage is attributable without re-deriving it from
+    // battery/score deltas.
+    bench("battery/pair_stats/scaling", big_px, [&] {
+      (void)pair_stats(big, context.round_trip());
+    });
+    bench("battery/pair_stats/filtering", big_px, [&] {
+      (void)pair_stats(big, context.filtered());
+    });
+    const core::SteganalysisDetector steg{core::SteganalysisDetectorConfig{}};
+    bench("battery/steganalysis/csp", big_px,
+          [&] { (void)steg.count_csp_in(context.spectrum()); });
+    bench("battery/histogram", big_px, [&] {
+      (void)histogram_intersection(color_histogram(big, 32),
+                                   color_histogram(context.downscaled(), 32));
+    });
   }
 
   if (opt.json) {

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,9 +64,12 @@ namespace {
       "  scan <image|dir>... [--width W] [--height H] [--algo A]\n"
       "       [--profile F] [--stats] [--json] [--threads N]\n"
       "       [--metrics-out F] [--profile-tree] [--stacks-out F]\n"
+      "       [--short-circuit]\n"
       "       directories expand to their .ppm/.pgm/.bmp files (sorted);\n"
       "       several inputs are scanned in parallel, one line per file\n"
       "       in input order; exit 1 = load failure, 3 = attack found;\n"
+      "       --short-circuit stops scoring once the majority is decided\n"
+      "       (skipped detectors report no score; verdict is unchanged);\n"
       "       --metrics-out writes an OpenMetrics exposition of every\n"
       "       counter/gauge/histogram (SIGUSR1 re-dumps it mid-run);\n"
       "       --profile-tree prints the hierarchical stage profile,\n"
@@ -124,6 +128,7 @@ struct Options {
   bool stats = false;
   bool json = false;
   bool profile_tree = false;
+  bool short_circuit = false;
 };
 
 Options parse(int argc, char** argv, int first) {
@@ -175,6 +180,8 @@ Options parse(int argc, char** argv, int first) {
       options.json = true;
     } else if (arg == "--profile-tree") {
       options.profile_tree = true;
+    } else if (arg == "--short-circuit") {
+      options.short_circuit = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -263,11 +270,12 @@ std::vector<std::string> expand_scan_inputs(
 }
 
 // Everything scan learns about one file; computed on any pool lane,
-// reported on the main thread in input order.
+// reported on the main thread in input order. A nullopt score means the
+// short circuit skipped that detector.
 struct ScanOutcome {
   std::string path;
   std::string error;  // non-empty = the file could not be scanned
-  std::vector<double> scores;
+  std::vector<std::optional<double>> scores;
   std::vector<double> latencies_ms;
   double total_ms = 0.0;
   bool flagged = false;
@@ -275,25 +283,42 @@ struct ScanOutcome {
 
 ScanOutcome scan_one(const std::string& path,
                      const std::vector<core::EnsembleDetector::Member>& members,
-                     const core::EnsembleDetector& ensemble) {
+                     const core::EnsembleDetector& ensemble,
+                     bool short_circuit) {
   ScanOutcome outcome;
   outcome.path = path;
   try {
     const Image image = read_image(path);
-    // Score each detector independently (no shared context) so the
-    // recorded latencies keep the paper's Table 7 per-method semantics.
     auto& registry = obs::MetricsRegistry::instance();
     outcome.scores.resize(members.size());
-    outcome.latencies_ms.resize(members.size());
+    outcome.latencies_ms.resize(members.size(), 0.0);
+    if (short_circuit) {
+      // Short-circuit path: members score through a shared deferred
+      // context and stop once the majority is decided; skipped members
+      // never build their intermediates. Latency is the whole decision
+      // (the per-method Table 7 split does not apply to a shared pass).
+      const char* kName = "detector/ensemble";
+      obs::ScopedTimer timer(registry.histogram(kName), kName);
+      const core::EnsembleDetector::Decision decision =
+          ensemble.decide(image);
+      outcome.total_ms = timer.stop();
+      outcome.scores = decision.scores;
+      outcome.flagged = decision.attack;
+      return outcome;
+    }
+    // Score each detector independently (no shared context) so the
+    // recorded latencies keep the paper's Table 7 per-method semantics.
+    std::vector<double> raw(members.size());
     for (std::size_t i = 0; i < members.size(); ++i) {
       const std::string metric_name =
           "detector/" + members[i].detector->name();
       obs::ScopedTimer timer(registry.histogram(metric_name), metric_name);
-      outcome.scores[i] = members[i].detector->score(image);
+      raw[i] = members[i].detector->score(image);
+      outcome.scores[i] = raw[i];
       outcome.latencies_ms[i] = timer.stop();
       outcome.total_ms += outcome.latencies_ms[i];
     }
-    outcome.flagged = ensemble.vote_scores(outcome.scores);
+    outcome.flagged = ensemble.vote_scores(raw);
   } catch (const std::exception& error) {
     outcome.error = error.what();
   }
@@ -315,12 +340,24 @@ void print_scan_json(const ScanOutcome& outcome,
               json_escape(outcome.path).c_str(), pad);
   for (std::size_t i = 0; i < members.size(); ++i) {
     const core::Calibration& calibration = members[i].calibration;
-    const bool vote = core::is_attack(outcome.scores[i], calibration);
+    if (!outcome.scores[i].has_value()) {
+      std::printf(
+          "%s    {\"name\": \"%s\", \"score\": null, \"threshold\": %.17g, "
+          "\"polarity\": \"%s\", \"vote\": \"skipped\"}%s\n",
+          pad, json_escape(members[i].detector->name()).c_str(),
+          calibration.threshold,
+          calibration.polarity == core::Polarity::HighIsAttack
+              ? "high_is_attack"
+              : "low_is_attack",
+          i + 1 < members.size() ? "," : "");
+      continue;
+    }
+    const bool vote = core::is_attack(*outcome.scores[i], calibration);
     std::printf(
         "%s    {\"name\": \"%s\", \"score\": %.17g, \"threshold\": %.17g, "
         "\"polarity\": \"%s\", \"vote\": \"%s\", \"latency_ms\": %.3f}%s\n",
         pad, json_escape(members[i].detector->name()).c_str(),
-        outcome.scores[i], calibration.threshold,
+        *outcome.scores[i], calibration.threshold,
         calibration.polarity == core::Polarity::HighIsAttack
             ? "high_is_attack"
             : "low_is_attack",
@@ -387,7 +424,8 @@ int cmd_scan(const Options& options) {
   {
     DECAM_SPAN("scan");
     outcomes = runtime::parallel_map(files, [&](const std::string& path) {
-      ScanOutcome outcome = scan_one(path, members, ensemble);
+      ScanOutcome outcome =
+          scan_one(path, members, ensemble, options.short_circuit);
       // Drain a pending SIGUSR1 between images so long scans can be dumped
       // mid-run (the exchange inside makes concurrent lanes race-free).
       obs::service_openmetrics_signal_dump();
@@ -424,10 +462,15 @@ int cmd_scan(const Options& options) {
   } else if (outcomes.size() == 1) {
     const ScanOutcome& outcome = outcomes[0];
     for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!outcome.scores[i].has_value()) {
+        std::printf("%-18s skipped (majority already decided)\n",
+                    members[i].detector->name().c_str());
+        continue;
+      }
       std::printf("%-18s score=%-10.4g threshold=%-10.4g -> %s\n",
-                  members[i].detector->name().c_str(), outcome.scores[i],
+                  members[i].detector->name().c_str(), *outcome.scores[i],
                   members[i].calibration.threshold,
-                  core::is_attack(outcome.scores[i], members[i].calibration)
+                  core::is_attack(*outcome.scores[i], members[i].calibration)
                       ? "ATTACK"
                       : "ok");
     }
@@ -443,10 +486,13 @@ int cmd_scan(const Options& options) {
       std::printf("%s\t%s", outcome.path.c_str(),
                   outcome.flagged ? "ATTACK" : "benign");
       for (std::size_t i = 0; i < members.size(); ++i) {
-        std::printf("\t%s=%s", members[i].detector->name().c_str(),
-                    core::is_attack(outcome.scores[i], members[i].calibration)
-                        ? "ATTACK"
-                        : "ok");
+        std::printf(
+            "\t%s=%s", members[i].detector->name().c_str(),
+            !outcome.scores[i].has_value()
+                ? "skipped"
+                : (core::is_attack(*outcome.scores[i], members[i].calibration)
+                       ? "ATTACK"
+                       : "ok"));
       }
       std::printf("\n");
     }
@@ -487,6 +533,27 @@ int cmd_scan(const Options& options) {
                   bluestein.resident_bytes);
     std::fprintf(sink, "\ncache utilisation:\n%s",
                  cache_table.render().c_str());
+
+    // Ensemble counters: images scored plus, per method, how often the
+    // short circuit skipped it. Pre-resolving the skip counters keeps the
+    // rows visible (as zeros) even when nothing was skipped.
+    auto& registry = obs::MetricsRegistry::instance();
+    for (const auto& member : members) {
+      std::string method = member.detector->name();
+      if (const std::size_t slash = method.find('/');
+          slash != std::string::npos) {
+        method.resize(slash);
+      }
+      (void)registry.counter("battery/skip_" + method);
+    }
+    report::Table battery_table({"battery counter", "count"});
+    for (const auto& [name, value] : registry.counter_values()) {
+      if (name.rfind("battery/", 0) == 0) {
+        battery_table.add_row({name, std::to_string(value)});
+      }
+    }
+    std::fprintf(sink, "\nensemble short-circuit counters:\n%s",
+                 battery_table.render().c_str());
     std::fprintf(sink, "\nresident memory:\n%s",
                  obs::render_memory_table().render().c_str());
   }

@@ -53,6 +53,30 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "decamctl scan rejected a benign-like image: ${rc}")
 endif()
 
+# Short-circuit voting must not change the verdict or the exit code, for
+# the attack (exit 3) and the benign-like image (exit 0) alike.
+execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/attack.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib --short-circuit
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "short-circuit scan should flag the attack, got: ${rc}")
+endif()
+execute_process(COMMAND ${DECAMCTL} scan
+                        ${WORK_DIR}/quickstart_out/attack_roundtrip.ppm
+                        --width 112 --height 112
+                        --profile ${WORK_DIR}/profile.calib --short-circuit
+                        --stats
+                OUTPUT_VARIABLE sc_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "short-circuit scan rejected a benign-like image: ${rc}")
+endif()
+if(NOT sc_out MATCHES "battery/skip_")
+  message(FATAL_ERROR
+          "--stats should list the battery/skip_* counters: ${sc_out}")
+endif()
+
 # Multi-input scan: attack + benign together must still exit 3 (an attack
 # anywhere in the batch dominates), with one report line per file.
 execute_process(COMMAND ${DECAMCTL} scan ${WORK_DIR}/attack.ppm

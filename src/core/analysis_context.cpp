@@ -21,33 +21,24 @@ std::uint64_t image_bytes(const std::optional<Image>& image) {
 
 }  // namespace
 
+const char* to_string(AnalysisStage stage) {
+  switch (stage) {
+    case AnalysisStage::RoundTrip: return "round_trip";
+    case AnalysisStage::Filter: return "filter";
+    case AnalysisStage::Spectrum: return "spectrum";
+  }
+  return "?";
+}
+
 AnalysisContext::AnalysisContext(const Image& input,
-                                 const AnalysisContextSpec& spec)
+                                 const AnalysisContextSpec& spec, Build build)
     : input_(&input), spec_(spec) {
   DECAM_REQUIRE(!input.empty(), "analysis context of empty image");
-  static auto& registry = obs::MetricsRegistry::instance();
-  static auto& round_trip_hist = registry.histogram("context/round_trip");
-  static auto& filter_hist = registry.histogram("context/filter");
-  static auto& spectrum_hist = registry.histogram("context/spectrum");
-
   if (spec.down_width > 0 && spec.down_height > 0) {
-    // One downscale serves both the pipeline view (histogram baseline) and
-    // the round trip — resize(resize(I)) is exactly scale_round_trip.
-    obs::ScopedTimer timer(round_trip_hist, "context/round_trip");
-    RoundTripImages images =
-        scale_round_trip_full(input, spec.down_width, spec.down_height,
-                              spec.down_algo, spec.up_algo);
-    downscaled_ = std::move(images.down);
-    round_trip_ = std::move(images.up);
+    plan_.push_back(AnalysisStage::RoundTrip);
   }
-  if (spec.filter_window > 0) {
-    obs::ScopedTimer timer(filter_hist, "context/filter");
-    filtered_ = rank_filter(input, spec.filter_window, spec.filter_op);
-  }
-  if (spec.spectrum) {
-    obs::ScopedTimer timer(spectrum_hist, "context/spectrum");
-    spectrum_ = centered_log_spectrum(input, spectrum_workspace());
-  }
+  if (spec.filter_window > 0) plan_.push_back(AnalysisStage::Filter);
+  if (spec.spectrum) plan_.push_back(AnalysisStage::Spectrum);
 
   static const bool source_registered = [] {
     obs::register_memory_source("analysis_context", [] {
@@ -56,9 +47,72 @@ AnalysisContext::AnalysisContext(const Image& input,
     return true;
   }();
   (void)source_registered;
-  bytes_ = image_bytes(downscaled_) + image_bytes(round_trip_) +
-           image_bytes(filtered_) + image_bytes(spectrum_);
-  g_context_bytes.fetch_add(bytes_, std::memory_order_relaxed);
+
+  if (build == Build::Eager) ensure_all();
+}
+
+void AnalysisContext::ensure_all() {
+  for (const AnalysisStage stage : plan_) ensure(stage);
+}
+
+void AnalysisContext::ensure(AnalysisStage stage) {
+  switch (stage) {
+    case AnalysisStage::RoundTrip:
+      if (spec_.down_width > 0 && spec_.down_height > 0 && !round_trip_) {
+        build_round_trip();
+      }
+      return;
+    case AnalysisStage::Filter:
+      if (spec_.filter_window > 0 && !filtered_) build_filter();
+      return;
+    case AnalysisStage::Spectrum:
+      if (spec_.spectrum && !spectrum_) build_spectrum();
+      return;
+  }
+}
+
+void AnalysisContext::build_round_trip() {
+  static auto& round_trip_hist =
+      obs::MetricsRegistry::instance().histogram("context/round_trip");
+  // One downscale serves both the pipeline view (histogram baseline) and
+  // the round trip — resize(resize(I)) is exactly scale_round_trip.
+  obs::ScopedTimer timer(round_trip_hist, "context/round_trip");
+  RoundTripImages images =
+      scale_round_trip_full(*input_, spec_.down_width, spec_.down_height,
+                            spec_.down_algo, spec_.up_algo);
+  downscaled_ = std::move(images.down);
+  round_trip_ = std::move(images.up);
+  add_bytes(image_bytes(downscaled_) + image_bytes(round_trip_));
+}
+
+void AnalysisContext::build_filter() {
+  static auto& filter_hist =
+      obs::MetricsRegistry::instance().histogram("context/filter");
+  obs::ScopedTimer timer(filter_hist, "context/filter");
+  filtered_ = rank_filter(*input_, spec_.filter_window, spec_.filter_op);
+  add_bytes(image_bytes(filtered_));
+}
+
+void AnalysisContext::build_spectrum() {
+  static auto& spectrum_hist =
+      obs::MetricsRegistry::instance().histogram("context/spectrum");
+  obs::ScopedTimer timer(spectrum_hist, "context/spectrum");
+  // RoundTrip sourcing is opt-in and only honoured when the reconstruction
+  // actually exists at the input geometry; the fallback keeps the paper's
+  // input-spectrum semantics rather than forcing a build order.
+  const Image* source = input_;
+  if (spec_.spectrum_source == SpectrumSource::RoundTrip &&
+      round_trip_.has_value() && round_trip_->same_shape(*input_)) {
+    source = &*round_trip_;
+    spectrum_from_round_trip_ = true;
+  }
+  spectrum_ = centered_log_spectrum(*source, spectrum_workspace());
+  add_bytes(image_bytes(spectrum_));
+}
+
+void AnalysisContext::add_bytes(std::uint64_t bytes) {
+  bytes_ += bytes;
+  g_context_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 AnalysisContext::~AnalysisContext() {
@@ -68,10 +122,12 @@ AnalysisContext::~AnalysisContext() {
 AnalysisContext::AnalysisContext(AnalysisContext&& other) noexcept
     : input_(other.input_),
       spec_(other.spec_),
+      plan_(std::move(other.plan_)),
       downscaled_(std::move(other.downscaled_)),
       round_trip_(std::move(other.round_trip_)),
       filtered_(std::move(other.filtered_)),
       spectrum_(std::move(other.spectrum_)),
+      spectrum_from_round_trip_(other.spectrum_from_round_trip_),
       bytes_(other.bytes_) {
   // The moved-from context must not release our share in its destructor.
   other.bytes_ = 0;
@@ -117,6 +173,10 @@ bool AnalysisContext::downscale_matches(int down_width, int down_height,
 bool AnalysisContext::filter_matches(int window, RankOp op) const {
   return has_filtered() && spec_.filter_window == window &&
          spec_.filter_op == op;
+}
+
+bool AnalysisContext::spectrum_matches_input() const {
+  return has_spectrum() && !spectrum_from_round_trip_;
 }
 
 }  // namespace decam::core

@@ -1,12 +1,21 @@
 // AnalysisContext — the expensive per-image intermediates every detection
-// method reads, computed once and shared (DESIGN.md §8).
+// method reads, computed through an explicit staged analysis plan and
+// shared (DESIGN.md §8, §11).
 //
 // Battery::score used to rebuild the round trip / filtered image / spectrum
 // inside each stage, and EnsembleDetector re-ran the full image pipeline per
 // member. The context makes that sharing explicit: a caller builds one
-// context per input image (eagerly, on its own thread — no hidden caches,
-// nothing lazily mutated under const), then any number of detectors and
-// metrics score against it.
+// context per input image (on its own thread — no hidden global caches),
+// then any number of detectors and metrics score against it.
+//
+// Staging: the spec expands to an ordered AnalysisPlan of stages (round
+// trip, rank filter, spectrum). An Eager context (the default, and the
+// previous behaviour) materialises every planned stage in the constructor.
+// A Deferred context records the plan and materialises a stage the first
+// time ensure(stage) is called — the short-circuit ensemble vote uses this
+// so a detector skipped by an already-decided majority never pays for its
+// intermediates. ensure() is non-const and must be called before the const
+// accessors; accessors never build behind the caller's back.
 //
 // Ownership: the context borrows `input` (non-owning pointer) and owns every
 // derived image. Keep the input alive for the context's lifetime; contexts
@@ -21,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "imaging/filter.h"
 #include "imaging/image.h"
@@ -28,6 +38,14 @@
 #include "signal/spectrum.h"
 
 namespace decam::core {
+
+/// Where the spectrum stage takes its input. The paper's steganalysis
+/// detector transforms the input image; RoundTrip substitutes the
+/// reconstruction (same geometry, already resident from the scaling stage)
+/// for callers that trade exact paper scores for one less full-image read —
+/// never the default, and only honoured when the round trip exists at the
+/// input geometry ("where shapes allow").
+enum class SpectrumSource { Input, RoundTrip };
 
 /// What to precompute. Defaults request nothing; detectors extend a spec via
 /// Detector::prime() and the Battery derives one from its ExperimentConfig.
@@ -39,14 +57,26 @@ struct AnalysisContextSpec {
   int filter_window = 0;  // > 0 enables the rank-filtered image
   RankOp filter_op = RankOp::Min;
   bool spectrum = false;  // centered log-magnitude spectrum (steganalysis)
+  SpectrumSource spectrum_source = SpectrumSource::Input;
 };
+
+/// One stage of the analysis plan.
+enum class AnalysisStage { RoundTrip, Filter, Spectrum };
+
+const char* to_string(AnalysisStage stage);
 
 class AnalysisContext {
  public:
-  /// Eagerly builds every intermediate `spec` requests, on the calling
-  /// thread. Build cost is recorded into the `context/*` registry
-  /// histograms.
-  AnalysisContext(const Image& input, const AnalysisContextSpec& spec);
+  enum class Build {
+    Eager,     // materialise every planned stage in the constructor
+    Deferred,  // record the plan; stages build on first ensure()
+  };
+
+  /// Builds the stages `spec` requests on the calling thread (all of them
+  /// when `build` is Eager, none yet when Deferred). Build cost is recorded
+  /// into the `context/*` registry histograms as each stage materialises.
+  AnalysisContext(const Image& input, const AnalysisContextSpec& spec,
+                  Build build = Build::Eager);
 
   /// Releases this context's contribution to the live-bytes gauge
   /// (`mem/analysis_context_bytes` — the derived images of every context
@@ -61,6 +91,18 @@ class AnalysisContext {
   const Image& input() const { return *input_; }
   const AnalysisContextSpec& spec() const { return spec_; }
 
+  /// The ordered stages this context's spec requests (build order). A
+  /// Deferred context materialises a suffix-free subset of this plan: only
+  /// the stages ensure()d so far.
+  const std::vector<AnalysisStage>& plan() const { return plan_; }
+
+  /// Materialises one planned stage (no-op when already built or when the
+  /// spec never requested it). Deferred contexts call this — directly or
+  /// through Detector::score(AnalysisContext&) — before the accessors.
+  void ensure(AnalysisStage stage);
+  /// Materialises every planned stage (what the Eager constructor does).
+  void ensure_all();
+
   bool has_downscaled() const { return downscaled_.has_value(); }
   bool has_round_trip() const { return round_trip_.has_value(); }
   bool has_filtered() const { return filtered_.has_value(); }
@@ -72,7 +114,8 @@ class AnalysisContext {
   const Image& round_trip() const;
   /// Rank-filtered input (filter_window, filter_op).
   const Image& filtered() const;
-  /// Centered log-magnitude spectrum of the input.
+  /// Centered log-magnitude spectrum (of the input, unless the spec opted
+  /// into SpectrumSource::RoundTrip).
   const Image& spectrum() const;
 
   /// True when round_trip() exists and was built with exactly this
@@ -84,6 +127,9 @@ class AnalysisContext {
                          ScaleAlgo algo) const;
   /// True when filtered() exists for exactly this window + op.
   bool filter_matches(int window, RankOp op) const;
+  /// True when spectrum() exists and transforms the input image itself
+  /// (the paper's semantics — false for a RoundTrip-sourced spectrum).
+  bool spectrum_matches_input() const;
 
   /// Per-thread spectrum scratch (complex frequency plane + shifted
   /// log-magnitude buffer) shared by every context built on this thread.
@@ -93,12 +139,19 @@ class AnalysisContext {
   static SpectrumWorkspace& spectrum_workspace();
 
  private:
+  void build_round_trip();
+  void build_filter();
+  void build_spectrum();
+  void add_bytes(std::uint64_t bytes);
+
   const Image* input_;
   AnalysisContextSpec spec_;
+  std::vector<AnalysisStage> plan_;
   std::optional<Image> downscaled_;
   std::optional<Image> round_trip_;
   std::optional<Image> filtered_;
   std::optional<Image> spectrum_;
+  bool spectrum_from_round_trip_ = false;
   std::uint64_t bytes_ = 0;  // this context's share of the live-bytes gauge
 };
 

@@ -39,6 +39,15 @@ class Detector {
     return score(context.input());
   }
 
+  /// Staged scoring: materialises the plan stages this detector consumes
+  /// (AnalysisContext::ensure) before scoring, so a Deferred context only
+  /// ever pays for the detectors that actually run — the short-circuit
+  /// ensemble vote's fast path. The default builds nothing and scores
+  /// through the const overload.
+  virtual double score(AnalysisContext& context) const {
+    return score(static_cast<const AnalysisContext&>(context));
+  }
+
   /// Extends `spec` with the intermediates this detector can reuse, so one
   /// context serves a whole ensemble (EnsembleDetector::context_spec()).
   virtual void prime(AnalysisContextSpec& spec) const { (void)spec; }

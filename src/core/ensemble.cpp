@@ -1,9 +1,24 @@
 #include "core/ensemble.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace decam::core {
+namespace {
+
+// Skip counters are keyed by the detection method — the first segment of the
+// detector name ("scaling/mse" -> "battery/skip_scaling") — so the three
+// paper methods share stable counter names regardless of metric choice.
+std::string skip_counter_name(const Detector& detector) {
+  std::string name = detector.name();
+  if (const std::size_t slash = name.find('/'); slash != std::string::npos) {
+    name.resize(slash);
+  }
+  return "battery/skip_" + name;
+}
+
+}  // namespace
 
 EnsembleDetector::EnsembleDetector(std::vector<Member> members)
     : members_(std::move(members)) {
@@ -37,6 +52,58 @@ std::vector<bool> EnsembleDetector::votes(const AnalysisContext& context) const 
   return result;
 }
 
+// Shared tally: evaluates members in order via `score_member(i)` and stops as
+// soon as the outcome is decided (when short-circuiting is on). With m
+// members, `attack > m/2` can no longer change once reached, and can no
+// longer be reached once `attack + remaining <= m/2`; in either state the
+// remaining members are skipped and accounted through battery/skip_*.
+template <typename ScoreMember>
+EnsembleDetector::Decision EnsembleDetector::decide_impl(
+    ScoreMember&& score_member) const {
+  Decision decision;
+  const std::size_t m = members_.size();
+  decision.scores.resize(m);
+  decision.votes.resize(m);
+
+  std::size_t attack_votes = 0;
+  std::size_t i = 0;
+  for (; i < m; ++i) {
+    if (short_circuit_) {
+      const std::size_t remaining = m - i;
+      const bool decided_attack = 2 * attack_votes > m;
+      const bool decided_benign = 2 * (attack_votes + remaining) <= m;
+      if (decided_attack || decided_benign) break;
+    }
+    const double score = score_member(i);
+    const bool vote = core::is_attack(score, members_[i].calibration);
+    decision.scores[i] = score;
+    decision.votes[i] = vote;
+    attack_votes += vote ? 1 : 0;
+  }
+  decision.evaluated = i;
+  for (; i < m; ++i) {
+    obs::MetricsRegistry::instance()
+        .counter(skip_counter_name(*members_[i].detector))
+        .add();
+  }
+  decision.attack = 2 * attack_votes > m;
+  return decision;
+}
+
+EnsembleDetector::Decision EnsembleDetector::decide(const Image& input) const {
+  // Deferred build: a member skipped by the short circuit never triggers the
+  // construction of its intermediate (round trip / filter / spectrum).
+  AnalysisContext context(input, context_spec(), AnalysisContext::Build::Deferred);
+  return decide(context);
+}
+
+EnsembleDetector::Decision EnsembleDetector::decide(
+    AnalysisContext& context) const {
+  DECAM_SPAN("ensemble/decide");
+  return decide_impl(
+      [&](std::size_t i) { return members_[i].detector->score(context); });
+}
+
 bool EnsembleDetector::is_attack(const Image& input) const {
   const AnalysisContext context(input, context_spec());
   return is_attack(context);
@@ -44,13 +111,12 @@ bool EnsembleDetector::is_attack(const Image& input) const {
 
 bool EnsembleDetector::is_attack(const AnalysisContext& context) const {
   DECAM_SPAN("ensemble/is_attack");
-  std::size_t attack_votes = 0;
-  for (const Member& member : members_) {
-    if (core::is_attack(member.detector->score(context), member.calibration)) {
-      ++attack_votes;
-    }
-  }
-  return 2 * attack_votes > members_.size();
+  // The context is already built, so scoring order cannot save intermediate
+  // construction — but the short circuit still skips whole detector passes.
+  return decide_impl([&](std::size_t i) {
+           return members_[i].detector->score(context);
+         })
+      .attack;
 }
 
 bool EnsembleDetector::vote_scores(std::span<const double> member_scores) const {

@@ -2,9 +2,20 @@
 // vote independently and the majority decides. This both lifts accuracy
 // above the best single method and hardens adaptive attacks, which now have
 // to fool spatial- and frequency-domain methods simultaneously.
+//
+// Short-circuit voting: members are evaluated in order and the tally stops
+// as soon as the remaining members cannot change the outcome (two of three
+// already agree). Skipped members never score — and, on the deferred
+// context path, never build their intermediates — so the decided-early case
+// costs a strict subset of the full battery. The decision itself is
+// unchanged (a decided strict majority is final by definition); skipping
+// only removes scores, which decide() reports as nullopt and the
+// `battery/skip_<method>` counters account for. Exact-ROC runs that need
+// every score disable it with set_short_circuit(false).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/calibration.h"
@@ -19,6 +30,15 @@ class EnsembleDetector {
     Calibration calibration;
   };
 
+  /// One member's outcome plus the overall verdict. `scores[i]` /
+  /// `votes[i]` are nullopt when member i was skipped by the short circuit.
+  struct Decision {
+    bool attack = false;
+    std::vector<std::optional<double>> scores;
+    std::vector<std::optional<bool>> votes;
+    std::size_t evaluated = 0;  // members actually scored
+  };
+
   /// At least one member; an odd count avoids ties (a tie counts as
   /// benign — the conservative choice for FRR).
   explicit EnsembleDetector(std::vector<Member> members);
@@ -27,7 +47,14 @@ class EnsembleDetector {
   bool is_attack(const Image& input) const;
   bool is_attack(const AnalysisContext& context) const;
 
-  /// Individual member votes (for diagnostics and the examples).
+  /// Full evaluation with per-member outcomes. From an Image the context is
+  /// built Deferred, so skipped members never build their intermediates;
+  /// the staged overload reuses whatever `context` already holds.
+  Decision decide(const Image& input) const;
+  Decision decide(AnalysisContext& context) const;
+
+  /// Individual member votes (for diagnostics and the examples). Always
+  /// evaluates every member, regardless of the short-circuit setting.
   std::vector<bool> votes(const Image& input) const;
   std::vector<bool> votes(const AnalysisContext& context) const;
 
@@ -40,10 +67,19 @@ class EnsembleDetector {
   /// Lets the benches reuse cached scores instead of re-running detectors.
   bool vote_scores(std::span<const double> member_scores) const;
 
+  /// Enables/disables short-circuit voting (default: enabled). Disable for
+  /// exact-ROC runs that must record every member's score.
+  void set_short_circuit(bool enabled) { short_circuit_ = enabled; }
+  bool short_circuit() const { return short_circuit_; }
+
   const std::vector<Member>& members() const { return members_; }
 
  private:
+  template <typename ScoreMember>
+  Decision decide_impl(ScoreMember&& score_member) const;
+
   std::vector<Member> members_;
+  bool short_circuit_ = true;
 };
 
 }  // namespace decam::core

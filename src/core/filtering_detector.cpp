@@ -35,6 +35,11 @@ double FilteringDetector::score(const AnalysisContext& context) const {
                                        : ssim(input, context.filtered());
 }
 
+double FilteringDetector::score(AnalysisContext& context) const {
+  context.ensure(AnalysisStage::Filter);
+  return score(static_cast<const AnalysisContext&>(context));
+}
+
 void FilteringDetector::prime(AnalysisContextSpec& spec) const {
   spec.filter_window = config_.window;
   spec.filter_op = config_.op;

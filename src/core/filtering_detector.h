@@ -24,6 +24,8 @@ class FilteringDetector final : public Detector {
   double score(const Image& input) const override;
   /// Reuses the context's filtered image when window+op match.
   double score(const AnalysisContext& context) const override;
+  /// Staged scoring: materialises the filter stage first.
+  double score(AnalysisContext& context) const override;
   void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 

@@ -10,9 +10,8 @@
 #include "core/steganalysis_detector.h"
 #include "data/synth.h"
 #include "imaging/filter.h"
+#include "metrics/fused.h"
 #include "metrics/histogram.h"
-#include "metrics/mse.h"
-#include "metrics/ssim.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -122,7 +121,8 @@ ScoreRow Battery::score(const AnalysisContext& context) const {
   const Image& input = context.input();
   ScoreRow row;
   {
-    // Scaling method: one round trip feeds MSE, SSIM and the PSNR appendix.
+    // Scaling method: one round trip feeds MSE, SSIM and the PSNR appendix,
+    // all from a single fused traversal of the (input, round-trip) pair.
     obs::ScopedTimer timer(scaling_hist, "battery/scaling");
     std::optional<Image> local;
     const Image& round =
@@ -132,9 +132,10 @@ ScoreRow Battery::score(const AnalysisContext& context) const {
             : local.emplace(scale_round_trip(input, target_width,
                                              target_height, pipeline_algo,
                                              pipeline_algo));
-    row.scaling_mse = mse(input, round);
-    row.scaling_ssim = ssim(input, round);
-    row.scaling_psnr = psnr(input, round);
+    const PairStats stats = pair_stats(input, round);
+    row.scaling_mse = stats.mse;
+    row.scaling_ssim = stats.ssim;
+    row.scaling_psnr = stats.psnr;
   }
   {
     // Filtering method: 2x2 minimum filter, per the paper.
@@ -143,9 +144,10 @@ ScoreRow Battery::score(const AnalysisContext& context) const {
     const Image& filtered = context.filter_matches(2, RankOp::Min)
                                 ? context.filtered()
                                 : local.emplace(min_filter(input, 2));
-    row.filtering_mse = mse(input, filtered);
-    row.filtering_ssim = ssim(input, filtered);
-    row.filtering_psnr = psnr(input, filtered);
+    const PairStats stats = pair_stats(input, filtered);
+    row.filtering_mse = stats.mse;
+    row.filtering_ssim = stats.ssim;
+    row.filtering_psnr = stats.psnr;
   }
   {
     // Steganalysis method (consumes the context's spectrum when present).

@@ -54,6 +54,11 @@ double ScalingDetector::score(const AnalysisContext& context) const {
                                        : ssim(input, context.round_trip());
 }
 
+double ScalingDetector::score(AnalysisContext& context) const {
+  context.ensure(AnalysisStage::RoundTrip);
+  return score(static_cast<const AnalysisContext&>(context));
+}
+
 void ScalingDetector::prime(AnalysisContextSpec& spec) const {
   spec.down_width = config_.down_width;
   spec.down_height = config_.down_height;

@@ -25,6 +25,8 @@ class ScalingDetector final : public Detector {
   /// Reuses the context's round trip when it matches this geometry+scaler
   /// pair; recomputes otherwise.
   double score(const AnalysisContext& context) const override;
+  /// Staged scoring: materialises the round-trip stage first.
+  double score(AnalysisContext& context) const override;
   void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 

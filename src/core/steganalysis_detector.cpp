@@ -90,6 +90,11 @@ double SteganalysisDetector::score(const AnalysisContext& context) const {
   return static_cast<double>(count_csp_in(context.spectrum()));
 }
 
+double SteganalysisDetector::score(AnalysisContext& context) const {
+  context.ensure(AnalysisStage::Spectrum);
+  return score(static_cast<const AnalysisContext&>(context));
+}
+
 void SteganalysisDetector::prime(AnalysisContextSpec& spec) const {
   spec.spectrum = true;
 }

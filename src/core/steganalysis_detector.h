@@ -35,6 +35,8 @@ class SteganalysisDetector final : public Detector {
   double score(const Image& input) const override;
   /// Consumes the context's precomputed log-spectrum when present.
   double score(const AnalysisContext& context) const override;
+  /// Staged scoring: materialises the spectrum stage first.
+  double score(AnalysisContext& context) const override;
   void prime(AnalysisContextSpec& spec) const override;
   std::string name() const override;
 

@@ -1,0 +1,157 @@
+#include "metrics/fused.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace decam {
+namespace {
+
+constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+constexpr int kRadius = 5;       // 11-tap Gaussian, sigma 1.5 (ssim.cpp)
+constexpr int kTaps = 2 * kRadius + 1;
+constexpr int kStats = 5;        // mu_a, mu_b, m_aa, m_bb, m_ab per pixel
+
+// Same window as metrics/ssim.cpp — normalised 11-tap Gaussian.
+const std::array<double, kTaps>& ssim_window() {
+  static const std::array<double, kTaps> window = [] {
+    std::array<double, kTaps> w{};
+    constexpr double kSigma = 1.5;
+    double sum = 0.0;
+    for (int i = -kRadius; i <= kRadius; ++i) {
+      const double v = std::exp(-(i * i) / (2.0 * kSigma * kSigma));
+      w[static_cast<std::size_t>(i + kRadius)] = v;
+      sum += v;
+    }
+    for (double& v : w) v /= sum;
+    return w;
+  }();
+  return window;
+}
+
+// One plane of the fused pass. `mse_sum` threads through all planes so the
+// squared differences accumulate in flat data order, exactly like mse().
+// Returns the plane's SSIM map sum (row-major accumulation, as in
+// ssim_plane()); divide by the pixel count for the plane mean.
+double fused_plane(std::span<const float> a, std::span<const float> b,
+                   int width, int height, std::vector<double>& ring,
+                   double& mse_sum) {
+  const std::array<double, kTaps>& win = ssim_window();
+  const std::size_t row_doubles =
+      static_cast<std::size_t>(width) * kStats;
+  ring.resize(row_doubles * kTaps);
+
+  // Horizontal pass for source row y: per pixel, the five 11-tap windowed
+  // sums, each accumulated in tap order (identical to filtering the
+  // precomputed value/product planes). The MSE row sum rides along so the
+  // pair is read exactly once per tap and once for the difference.
+  const auto compute_mid_row = [&](int y) {
+    const std::size_t base = static_cast<std::size_t>(y) * width;
+    double* mid = ring.data() + static_cast<std::size_t>(y % kTaps) *
+                                    row_doubles;
+    for (int x = 0; x < width; ++x) {
+      double acc_a = 0.0, acc_b = 0.0;
+      double acc_aa = 0.0, acc_bb = 0.0, acc_ab = 0.0;
+      for (int i = -kRadius; i <= kRadius; ++i) {
+        const double w = win[static_cast<std::size_t>(i + kRadius)];
+        const std::size_t sx =
+            static_cast<std::size_t>(std::clamp(x + i, 0, width - 1));
+        const double da = a[base + sx];
+        const double db = b[base + sx];
+        acc_a += w * da;
+        acc_b += w * db;
+        acc_aa += w * (da * da);
+        acc_bb += w * (db * db);
+        acc_ab += w * (da * db);
+      }
+      double* out = mid + static_cast<std::size_t>(x) * kStats;
+      out[0] = acc_a;
+      out[1] = acc_b;
+      out[2] = acc_aa;
+      out[3] = acc_bb;
+      out[4] = acc_ab;
+    }
+    for (int x = 0; x < width; ++x) {
+      const double d = static_cast<double>(a[base + x]) -
+                       static_cast<double>(b[base + x]);
+      mse_sum += d * d;
+    }
+  };
+
+  double total = 0.0;
+  int next_mid = 0;
+  for (int y = 0; y < height; ++y) {
+    // The vertical window of output row y reads mid rows y-5..y+5 (edge
+    // replicated); rows enter the ring in order, at most 11 live at once.
+    const int last_needed = std::min(y + kRadius, height - 1);
+    for (; next_mid <= last_needed; ++next_mid) compute_mid_row(next_mid);
+
+    const double* rows[kTaps];
+    for (int i = -kRadius; i <= kRadius; ++i) {
+      const int sy = std::clamp(y + i, 0, height - 1);
+      rows[i + kRadius] =
+          ring.data() + static_cast<std::size_t>(sy % kTaps) * row_doubles;
+    }
+    for (int x = 0; x < width; ++x) {
+      const std::size_t col = static_cast<std::size_t>(x) * kStats;
+      double mu_a = 0.0, mu_b = 0.0;
+      double m_aa = 0.0, m_bb = 0.0, m_ab = 0.0;
+      for (int i = 0; i < kTaps; ++i) {
+        const double w = win[static_cast<std::size_t>(i)];
+        const double* mid = rows[i] + col;
+        mu_a += w * mid[0];
+        mu_b += w * mid[1];
+        m_aa += w * mid[2];
+        m_bb += w * mid[3];
+        m_ab += w * mid[4];
+      }
+      const double va = m_aa - mu_a * mu_a;
+      const double vb = m_bb - mu_b * mu_b;
+      const double cov = m_ab - mu_a * mu_b;
+      const double num = (2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2);
+      const double den =
+          (mu_a * mu_a + mu_b * mu_b + kC1) * (va + vb + kC2);
+      total += num / den;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+PairStatsWorkspace& thread_pair_stats_workspace() {
+  thread_local PairStatsWorkspace workspace;
+  return workspace;
+}
+
+PairStats pair_stats(const Image& a, const Image& b,
+                     PairStatsWorkspace& workspace) {
+  DECAM_REQUIRE(a.same_shape(b), "pair_stats: shape mismatch");
+  DECAM_REQUIRE(!a.empty(), "pair_stats of empty images");
+  const std::size_t n = a.plane_size();
+  double mse_sum = 0.0;
+  double ssim_total = 0.0;
+  for (int c = 0; c < a.channels(); ++c) {
+    ssim_total += fused_plane(a.plane(c), b.plane(c), a.width(), a.height(),
+                              workspace.ring, mse_sum) /
+                  static_cast<double>(n);
+  }
+  PairStats stats;
+  stats.mse = mse_sum / static_cast<double>(a.size());
+  stats.ssim = ssim_total / a.channels();
+  if (stats.mse == 0.0) {
+    stats.psnr = std::numeric_limits<double>::infinity();
+  } else {
+    constexpr double peak = 255.0;
+    stats.psnr = 10.0 * std::log10(peak * peak / stats.mse);
+  }
+  return stats;
+}
+
+PairStats pair_stats(const Image& a, const Image& b) {
+  return pair_stats(a, b, thread_pair_stats_workspace());
+}
+
+}  // namespace decam

@@ -1,0 +1,52 @@
+// Fused pair statistics — MSE, windowed SSIM and PSNR of one (reference,
+// reconstruction) image pair from a single tiled traversal.
+//
+// The battery's scaling and filtering stages each reduce the same pair with
+// three metrics; computed separately that is seven full-image sweeps (MSE,
+// five Gaussian filter passes inside SSIM, and PSNR re-running MSE). The
+// fused pass reads each source pixel once per Gaussian tap and nothing
+// else: the horizontal pass produces, per pixel, the five windowed sums
+// SSIM needs (μ_a, μ_b, a², b², ab) interleaved in a ring of 11 rows, the
+// vertical pass folds them into the SSIM map sum while the rows are still
+// cache-hot, and the squared-difference accumulator for MSE rides along in
+// the same row walk. PSNR is derived from the MSE value.
+//
+// Bit-exactness contract: every accumulator preserves the reference
+// implementations' floating-point addition order (flat data order for MSE,
+// per-tap then row-major order for SSIM), so pair_stats() returns exactly
+// the values of mse() / ssim() / psnr() called separately. The golden
+// battery tests and the 1-vs-N-thread determinism suite pin this down.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace decam {
+
+/// The three reductions of one image pair.
+struct PairStats {
+  double mse = 0.0;
+  double ssim = 0.0;
+  double psnr = 0.0;
+};
+
+/// Reusable scratch for the fused pass: the interleaved ring of horizontal
+/// window rows. One per thread (pair_stats() uses the calling thread's);
+/// sized 11 rows x width x 5 doubles on first use and reused across images.
+struct PairStatsWorkspace {
+  std::vector<double> ring;
+};
+
+/// The calling thread's default workspace.
+PairStatsWorkspace& thread_pair_stats_workspace();
+
+/// MSE + mean windowed SSIM + PSNR of (a, b) in one traversal. Shapes must
+/// match; results are bit-identical to mse(a, b), ssim(a, b), psnr(a, b).
+PairStats pair_stats(const Image& a, const Image& b);
+
+/// Scratch-reusing overload of the above.
+PairStats pair_stats(const Image& a, const Image& b,
+                     PairStatsWorkspace& workspace);
+
+}  // namespace decam

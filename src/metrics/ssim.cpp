@@ -1,8 +1,6 @@
 #include "metrics/ssim.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include "metrics/fused.h"
 
 namespace decam {
 namespace {
@@ -10,93 +8,16 @@ namespace {
 constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
 constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
 
-// 11-tap Gaussian (sigma = 1.5) used by the reference SSIM implementation.
-std::vector<double> ssim_window() {
-  constexpr int kRadius = 5;
-  constexpr double kSigma = 1.5;
-  std::vector<double> w(2 * kRadius + 1);
-  double sum = 0.0;
-  for (int i = -kRadius; i <= kRadius; ++i) {
-    const double v = std::exp(-(i * i) / (2.0 * kSigma * kSigma));
-    w[static_cast<std::size_t>(i + kRadius)] = v;
-    sum += v;
-  }
-  for (double& v : w) v /= sum;
-  return w;
-}
-
-// Separable Gaussian filtering of a single plane held as doubles, with edge
-// replication. Keeping this local avoids an Image->double conversion dance.
-std::vector<double> gauss_filter(const std::vector<double>& src, int width,
-                                 int height, const std::vector<double>& win) {
-  const int radius = static_cast<int>(win.size() / 2);
-  std::vector<double> mid(src.size());
-  std::vector<double> out(src.size());
-  auto clamp_x = [width](int x) { return std::clamp(x, 0, width - 1); };
-  auto clamp_y = [height](int y) { return std::clamp(y, 0, height - 1); };
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      double acc = 0.0;
-      for (int i = -radius; i <= radius; ++i) {
-        acc += win[static_cast<std::size_t>(i + radius)] *
-               src[static_cast<std::size_t>(y) * width + clamp_x(x + i)];
-      }
-      mid[static_cast<std::size_t>(y) * width + x] = acc;
-    }
-  }
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      double acc = 0.0;
-      for (int i = -radius; i <= radius; ++i) {
-        acc += win[static_cast<std::size_t>(i + radius)] *
-               mid[static_cast<std::size_t>(clamp_y(y + i)) * width + x];
-      }
-      out[static_cast<std::size_t>(y) * width + x] = acc;
-    }
-  }
-  return out;
-}
-
-double ssim_plane(std::span<const float> a, std::span<const float> b,
-                  int width, int height) {
-  const std::vector<double> win = ssim_window();
-  const std::size_t n = a.size();
-  std::vector<double> da(n), db(n), daa(n), dbb(n), dab(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    da[i] = a[i];
-    db[i] = b[i];
-    daa[i] = da[i] * da[i];
-    dbb[i] = db[i] * db[i];
-    dab[i] = da[i] * db[i];
-  }
-  const std::vector<double> mu_a = gauss_filter(da, width, height, win);
-  const std::vector<double> mu_b = gauss_filter(db, width, height, win);
-  const std::vector<double> m_aa = gauss_filter(daa, width, height, win);
-  const std::vector<double> m_bb = gauss_filter(dbb, width, height, win);
-  const std::vector<double> m_ab = gauss_filter(dab, width, height, win);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double va = m_aa[i] - mu_a[i] * mu_a[i];
-    const double vb = m_bb[i] - mu_b[i] * mu_b[i];
-    const double cov = m_ab[i] - mu_a[i] * mu_b[i];
-    const double num = (2.0 * mu_a[i] * mu_b[i] + kC1) * (2.0 * cov + kC2);
-    const double den =
-        (mu_a[i] * mu_a[i] + mu_b[i] * mu_b[i] + kC1) * (va + vb + kC2);
-    total += num / den;
-  }
-  return total / static_cast<double>(n);
-}
-
 }  // namespace
 
 double ssim(const Image& a, const Image& b) {
   DECAM_REQUIRE(a.same_shape(b), "ssim: shape mismatch");
   DECAM_REQUIRE(!a.empty(), "ssim of empty images");
-  double total = 0.0;
-  for (int c = 0; c < a.channels(); ++c) {
-    total += ssim_plane(a.plane(c), b.plane(c), a.width(), a.height());
-  }
-  return total / a.channels();
+  // One implementation for all callers: the fused tiled pass of
+  // metrics/fused.cpp (its windowed sums preserve the reference
+  // accumulation order, see the header contract there). The MSE that rides
+  // along is two flops per pixel — not worth a second code path.
+  return pair_stats(a, b).ssim;
 }
 
 double ssim_global(const Image& a, const Image& b) {

@@ -1,0 +1,47 @@
+# CTest driver for the battery's thread-count determinism contract
+# (DESIGN.md §8): the same quick table8_ensemble experiment run on one
+# worker thread and on four must produce byte-identical cache TSVs — the
+# per-image score rows, serialised at %.17g, straight from disk. A single
+# ULP of drift anywhere in the fused metric pass or the parallel fan-out
+# shows up as a file diff here.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR}/threads1 ${WORK_DIR}/threads4)
+
+foreach(threads 1 4)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            DECAM_CACHE_DIR=${WORK_DIR}/threads${threads}
+            ${TABLE8} --quick --threads ${threads} --no-manifest
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "table8_ensemble --threads ${threads} failed: ${rc}")
+  endif()
+endforeach()
+
+file(GLOB tsv1 ${WORK_DIR}/threads1/experiment_*.tsv)
+file(GLOB tsv4 ${WORK_DIR}/threads4/experiment_*.tsv)
+list(LENGTH tsv1 count1)
+list(LENGTH tsv4 count4)
+if(NOT count1 EQUAL 1 OR NOT count4 EQUAL 1)
+  message(FATAL_ERROR
+          "expected one cache TSV per run, got ${count1} and ${count4}")
+endif()
+
+# Same config -> same cache filename; different names mean the cache key
+# itself became thread-dependent, which is its own determinism failure.
+get_filename_component(name1 ${tsv1} NAME)
+get_filename_component(name4 ${tsv4} NAME)
+if(NOT name1 STREQUAL name4)
+  message(FATAL_ERROR "cache keys differ across thread counts: "
+                      "${name1} vs ${name4}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${tsv1} ${tsv4}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "per-image scores differ between --threads 1 and "
+                      "--threads 4: ${tsv1} vs ${tsv4}")
+endif()
+message(STATUS "battery determinism OK (${name1} byte-identical at 1 and 4 "
+               "threads)")

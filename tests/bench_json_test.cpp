@@ -1,0 +1,87 @@
+// Unit tests for the minimal JSON reader in bench/bench_common.h, focused
+// on the \uXXXX escape support: BMP code points, UTF-8 encoding widths,
+// surrogate pairs, and strict rejection of malformed escapes (truncated hex,
+// lone surrogates) — a malformed bench document must fail validation, not
+// round-trip quietly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace {
+
+using decam::bench::micro::JsonParser;
+using decam::bench::micro::JsonValue;
+
+std::string parse_json_string(const std::string& doc) {
+  JsonValue value;
+  JsonParser parser(doc);
+  EXPECT_TRUE(parser.parse(value)) << doc;
+  EXPECT_EQ(value.kind, JsonValue::Kind::String);
+  return value.string;
+}
+
+bool parse_fails(const std::string& doc) {
+  JsonValue value;
+  JsonParser parser(doc);
+  return !parser.parse(value);
+}
+
+TEST(BenchJson, BasicEscapesStillWork) {
+  EXPECT_EQ(parse_json_string(R"("a\nb\tc\"d\\e")"), "a\nb\tc\"d\\e");
+}
+
+TEST(BenchJson, UnicodeEscapeAscii) {
+  EXPECT_EQ(parse_json_string("\"\\u0041z\""), "Az");
+  EXPECT_EQ(parse_json_string("\"\\u0061\\u0062\""), "ab");
+}
+
+TEST(BenchJson, UnicodeEscapeHexCaseInsensitive) {
+  EXPECT_EQ(parse_json_string("\"\\u00e9\""), "\xC3\xA9");
+  EXPECT_EQ(parse_json_string("\"\\u00E9\""), "\xC3\xA9");
+}
+
+TEST(BenchJson, UnicodeEscapeTwoByteUtf8) {
+  // U+00E9 (e acute) and U+03BC (mu).
+  EXPECT_EQ(parse_json_string("\"\\u00E9\""), "\xC3\xA9");
+  EXPECT_EQ(parse_json_string("\"\\u03BC\""), "\xCE\xBC");
+}
+
+TEST(BenchJson, UnicodeEscapeThreeByteUtf8) {
+  // U+2014 (em dash).
+  EXPECT_EQ(parse_json_string("\"\\u2014\""), "\xE2\x80\x94");
+}
+
+TEST(BenchJson, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 as the surrogate pair D83D DE00.
+  EXPECT_EQ(parse_json_string("\"\\uD83D\\uDE00\""), "\xF0\x9F\x98\x80");
+}
+
+TEST(BenchJson, MixedContentAroundEscapes) {
+  EXPECT_EQ(parse_json_string("\"ns/px \\u00B5s\""), "ns/px \xC2\xB5s");
+}
+
+TEST(BenchJson, RejectsTruncatedHex) {
+  EXPECT_TRUE(parse_fails("\"\\u00\""));
+  EXPECT_TRUE(parse_fails("\"\\u00G1\""));
+}
+
+TEST(BenchJson, RejectsLoneSurrogates) {
+  EXPECT_TRUE(parse_fails("\"\\uD83D\""));         // high, nothing after
+  EXPECT_TRUE(parse_fails("\"\\uD83Dxy\""));       // high, no \u
+  EXPECT_TRUE(parse_fails("\"\\uD83D\\u0041\""));  // high + non-low
+  EXPECT_TRUE(parse_fails("\"\\uDE00\""));         // low first
+}
+
+TEST(BenchJson, EscapesInsideObjectKeysAndValues) {
+  JsonValue value;
+  JsonParser parser("{\"na\\u006De\": \"bench\\u2014quick\"}");
+  ASSERT_TRUE(parser.parse(value));
+  ASSERT_EQ(value.kind, JsonValue::Kind::Object);
+  const JsonValue* found = value.find("name");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->string, "bench\xE2\x80\x94quick");
+}
+
+}  // namespace

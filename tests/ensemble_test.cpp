@@ -1,10 +1,12 @@
 // Tests for the majority-vote ensemble using stub detectors with
-// controllable scores.
+// controllable scores, including the short-circuit voting path.
 #include "core/ensemble.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+
+#include "obs/metrics.h"
 
 namespace decam::core {
 namespace {
@@ -89,6 +91,124 @@ TEST(Ensemble, ValidatesConstruction) {
   std::vector<EnsembleDetector::Member> with_null;
   with_null.push_back({nullptr, Calibration{}});
   EXPECT_THROW(EnsembleDetector(std::move(with_null)), std::invalid_argument);
+}
+
+// Stub that counts how often it scores, to observe short-circuit skips.
+class CountingDetector final : public Detector {
+ public:
+  CountingDetector(double score, std::string name)
+      : score_(score), name_(std::move(name)) {}
+  double score(const Image&) const override {
+    ++calls;
+    return score_;
+  }
+  double score(const AnalysisContext&) const override {
+    ++calls;
+    return score_;
+  }
+  std::string name() const override { return name_; }
+
+  mutable int calls = 0;
+
+ private:
+  double score_;
+  std::string name_;
+};
+
+struct CountingEnsemble {
+  std::vector<std::shared_ptr<CountingDetector>> detectors;
+  EnsembleDetector ensemble;
+};
+
+// Members vote "attack" iff their fixed score exceeds threshold 5.
+CountingEnsemble counting_ensemble(const std::vector<double>& scores) {
+  std::vector<std::shared_ptr<CountingDetector>> detectors;
+  std::vector<EnsembleDetector::Member> members;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    detectors.push_back(std::make_shared<CountingDetector>(
+        scores[i], "stub" + std::to_string(i) + "/fixed"));
+    members.push_back({detectors.back(), Calibration{5.0,
+                                                     Polarity::HighIsAttack,
+                                                     0.0}});
+  }
+  return {std::move(detectors), EnsembleDetector{std::move(members)}};
+}
+
+TEST(EnsembleShortCircuit, BenignMajoritySkipsLastMember) {
+  CountingEnsemble ce = counting_ensemble({1, 1, 10});
+  const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+  EXPECT_FALSE(decision.attack);
+  EXPECT_EQ(decision.evaluated, 2u);
+  ASSERT_EQ(decision.scores.size(), 3u);
+  EXPECT_TRUE(decision.scores[0].has_value());
+  EXPECT_TRUE(decision.scores[1].has_value());
+  EXPECT_FALSE(decision.scores[2].has_value());
+  EXPECT_FALSE(decision.votes[2].has_value());
+  EXPECT_EQ(ce.detectors[2]->calls, 0);
+}
+
+TEST(EnsembleShortCircuit, AttackMajoritySkipsLastMember) {
+  CountingEnsemble ce = counting_ensemble({10, 10, 1});
+  const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+  EXPECT_TRUE(decision.attack);
+  EXPECT_EQ(decision.evaluated, 2u);
+  EXPECT_FALSE(decision.scores[2].has_value());
+  EXPECT_EQ(ce.detectors[2]->calls, 0);
+}
+
+TEST(EnsembleShortCircuit, SplitVoteEvaluatesEveryMember) {
+  CountingEnsemble ce = counting_ensemble({10, 1, 10});
+  const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+  EXPECT_TRUE(decision.attack);
+  EXPECT_EQ(decision.evaluated, 3u);
+  for (const auto& d : ce.detectors) EXPECT_EQ(d->calls, 1);
+}
+
+TEST(EnsembleShortCircuit, FiveMembersSkipTwoOnUnanimousStart) {
+  CountingEnsemble ce = counting_ensemble({1, 1, 1, 10, 10});
+  const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+  // After three benign votes the two attack votes left cannot reach 3 of 5.
+  EXPECT_FALSE(decision.attack);
+  EXPECT_EQ(decision.evaluated, 3u);
+  EXPECT_EQ(ce.detectors[3]->calls, 0);
+  EXPECT_EQ(ce.detectors[4]->calls, 0);
+}
+
+TEST(EnsembleShortCircuit, DisablingEvaluatesEveryMember) {
+  CountingEnsemble ce = counting_ensemble({1, 1, 10});
+  ce.ensemble.set_short_circuit(false);
+  const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+  EXPECT_FALSE(decision.attack);
+  EXPECT_EQ(decision.evaluated, 3u);
+  EXPECT_TRUE(decision.scores[2].has_value());
+  EXPECT_EQ(ce.detectors[2]->calls, 1);
+}
+
+TEST(EnsembleShortCircuit, DecisionMatchesFullVoteOnEveryPattern) {
+  // Exhaustive 3-member vote patterns: skipping must never flip the verdict.
+  for (int pattern = 0; pattern < 8; ++pattern) {
+    std::vector<double> scores;
+    int attack_votes = 0;
+    for (int bit = 0; bit < 3; ++bit) {
+      const bool attack = ((pattern >> bit) & 1) != 0;
+      scores.push_back(attack ? 10.0 : 1.0);
+      attack_votes += attack ? 1 : 0;
+    }
+    CountingEnsemble ce = counting_ensemble(scores);
+    const EnsembleDetector::Decision decision = ce.ensemble.decide(kDummy);
+    EXPECT_EQ(decision.attack, attack_votes >= 2) << "pattern " << pattern;
+    EXPECT_EQ(decision.attack, ce.ensemble.is_attack(kDummy))
+        << "pattern " << pattern;
+  }
+}
+
+TEST(EnsembleShortCircuit, SkippedMembersCountInObsLayer) {
+  auto& counter =
+      obs::MetricsRegistry::instance().counter("battery/skip_stub2");
+  const std::uint64_t before = counter.value();
+  CountingEnsemble ce = counting_ensemble({1, 1, 10});
+  (void)ce.ensemble.decide(kDummy);
+  EXPECT_EQ(counter.value(), before + 1);
 }
 
 }  // namespace
