@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/simd.h"
 #include "core/pipeline.h"
 #include "core/steganalysis_detector.h"
 #include "data/rng.h"
@@ -117,6 +118,15 @@ int main(int argc, char** argv) {
     results.push_back(run_bench(name, pixels, budget_ms, fn));
     bench::micro::print_result(results.back());
   };
+  // Same benchmark with the scalar SimdOps table forced, so the dispatch
+  // win of each vectorized kernel is measurable next to its default entry
+  // (which runs whatever the host resolved — see the simd/dispatch gauge).
+  auto bench_scalar = [&](const std::string& name, std::size_t pixels,
+                          const std::function<void()>& fn) {
+    const simd::Isa prev = simd::set_active_isa(simd::Isa::Scalar);
+    bench(name + "/scalar", pixels, fn);
+    simd::set_active_isa(prev);
+  };
 
   // --- separable resize, every algorithm, down and up ---------------------
   for (const ScaleAlgo algo :
@@ -132,6 +142,8 @@ int main(int argc, char** argv) {
     (void)scale_round_trip(big, cnn, cnn, ScaleAlgo::Bicubic,
                            ScaleAlgo::Bicubic);
   });
+  bench_scalar("resize/bicubic/up", big_px,
+               [&] { (void)resize(small, side, side, ScaleAlgo::Bicubic); });
 
   // --- rank filters (the filtering detector's hot loop) -------------------
   for (const int k : {2, 3, 5, 9}) {
@@ -139,10 +151,30 @@ int main(int argc, char** argv) {
           [&, k] { (void)rank_filter(big, k, RankOp::Min); });
   }
   bench("rank/max/k9", big_px, [&] { (void)rank_filter(big, 9, RankOp::Max); });
-  for (const int k : {3, 5, 9}) {
+  // The median entries run on the 8-bit quantised scene — the decoded-image
+  // grid every real scan presents, i.e. the Perreault–Hébert histogram
+  // path. The /grid16 and /exact variants pin the other two classifier
+  // routes on the same geometry: half-stepping the u8 grid lands on i/256
+  // values, and a single 0.3f nudge (not representable as i/256) pushes
+  // the scene off both grids onto the sorted-window fallback. The raw
+  // float scene is NOT a valid Exact input — generate_scene emits
+  // integral values, which classify as Grid8.
+  const Image big_u8 =
+      Image::from_u8(big.to_u8(), big.width(), big.height(), big.channels());
+  Image big_half = big_u8;
+  big_half *= 0.5f;
+  Image big_off = big_u8;
+  big_off.row(0, 0).data()[0] += 0.3f;
+  for (const int k : {3, 5, 7, 9, 15}) {
     bench("rank/median/k" + std::to_string(k), big_px,
-          [&, k] { (void)rank_filter(big, k, RankOp::Median); });
+          [&, k] { (void)rank_filter(big_u8, k, RankOp::Median); });
   }
+  bench_scalar("rank/median/k9", big_px,
+               [&] { (void)rank_filter(big_u8, 9, RankOp::Median); });
+  bench("rank/median/k9/grid16", big_px,
+        [&] { (void)rank_filter(big_half, 9, RankOp::Median); });
+  bench("rank/median/k9/exact", big_px,
+        [&] { (void)rank_filter(big_off, 9, RankOp::Median); });
 
   // --- blurs (dataset generator / robustness experiments) -----------------
   for (const int k : {3, 9, 25}) {
@@ -150,6 +182,8 @@ int main(int argc, char** argv) {
           [&, k] { (void)box_blur(big, k); });
   }
   bench("blur/gaussian/s1.5", big_px, [&] { (void)gaussian_blur(big, 1.5); });
+  bench_scalar("blur/gaussian/s1.5", big_px,
+               [&] { (void)gaussian_blur(big, 1.5); });
 
   // --- FFT log-spectrum (steganalysis detection) ---------------------------
   // Fixed geometries in both modes: the FFT regime (planned radix-4 vs
@@ -194,6 +228,9 @@ int main(int argc, char** argv) {
       (void)pair_stats(big, context.round_trip());
     });
     bench("battery/pair_stats/filtering", big_px, [&] {
+      (void)pair_stats(big, context.filtered());
+    });
+    bench_scalar("battery/pair_stats/filtering", big_px, [&] {
       (void)pair_stats(big, context.filtered());
     });
     const core::SteganalysisDetector steg{core::SteganalysisDetectorConfig{}};

@@ -1,0 +1,155 @@
+// Runtime ISA selection for the SIMD kernel tables (common/simd.h).
+//
+// Resolution order, decided exactly once per process:
+//   1. DECAM_SIMD=scalar|avx2|neon — explicit override. Requesting a
+//      variant this build/host cannot run warns on stderr and falls back
+//      to scalar (never to a different native ISA: an override exists to
+//      pin behaviour, not to guess).
+//   2. Native detection: AVX2 via cpuid on x86-64 builds that carry the
+//      AVX2 table, NEON on aarch64 builds (baseline there).
+//   3. Scalar.
+// The choice is exported as the `simd/dispatch` gauge (Isa enum value) so
+// stats dumps and OpenMetrics scrapes record which core a run used.
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd_kernels.h"
+#include "obs/metrics.h"
+
+namespace decam::simd {
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(DECAM_SIMD_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const SimdOps* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return &detail::scalar_ops();
+    case Isa::Avx2:
+#ifdef DECAM_SIMD_HAVE_AVX2
+      return &detail::avx2_ops();
+#else
+      return nullptr;
+#endif
+    case Isa::Neon:
+#ifdef DECAM_SIMD_HAVE_NEON
+      return &detail::neon_ops();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool isa_runnable(Isa isa) {
+  if (isa == Isa::Scalar) return true;
+  if (table_for(isa) == nullptr) return false;
+  if (isa == Isa::Avx2) return cpu_has_avx2();
+  return true;  // NEON tables only exist on aarch64, where NEON is baseline
+}
+
+Isa native_isa() {
+#ifdef DECAM_SIMD_HAVE_AVX2
+  if (cpu_has_avx2()) return Isa::Avx2;
+#endif
+#ifdef DECAM_SIMD_HAVE_NEON
+  return Isa::Neon;
+#else
+  return Isa::Scalar;
+#endif
+}
+
+void publish_isa(Isa isa) {
+  obs::MetricsRegistry::instance()
+      .gauge("simd/dispatch")
+      .set(static_cast<double>(static_cast<int>(isa)));
+}
+
+Isa resolve_startup_isa() {
+  Isa isa = native_isa();
+  if (const char* env = std::getenv("DECAM_SIMD"); env && *env) {
+    if (std::strcmp(env, "scalar") == 0) {
+      isa = Isa::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0 || std::strcmp(env, "neon") == 0) {
+      const Isa wanted = env[0] == 'a' ? Isa::Avx2 : Isa::Neon;
+      if (isa_runnable(wanted)) {
+        isa = wanted;
+      } else {
+        std::fprintf(stderr,
+                     "decam: DECAM_SIMD=%s not available on this host/build, "
+                     "using scalar\n",
+                     env);
+        isa = Isa::Scalar;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "decam: unknown DECAM_SIMD value '%s' "
+                   "(want scalar|avx2|neon), using native dispatch\n",
+                   env);
+    }
+  }
+  publish_isa(isa);
+  return isa;
+}
+
+struct ActiveTable {
+  std::atomic<const SimdOps*> ops;
+  std::atomic<int> isa;
+  ActiveTable() {
+    const Isa startup = resolve_startup_isa();
+    ops.store(table_for(startup), std::memory_order_relaxed);
+    isa.store(static_cast<int>(startup), std::memory_order_relaxed);
+  }
+};
+
+ActiveTable& active() {
+  static ActiveTable table;
+  return table;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return "scalar";
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Neon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const SimdOps& ops() {
+  return *active().ops.load(std::memory_order_relaxed);
+}
+
+Isa active_isa() {
+  return static_cast<Isa>(active().isa.load(std::memory_order_relaxed));
+}
+
+Isa set_active_isa(Isa isa) {
+  ActiveTable& table = active();
+  const Isa previous =
+      static_cast<Isa>(table.isa.load(std::memory_order_relaxed));
+  if (!isa_runnable(isa)) isa = Isa::Scalar;
+  table.ops.store(table_for(isa), std::memory_order_relaxed);
+  table.isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  publish_isa(isa);
+  return previous;
+}
+
+bool native_available() { return native_isa() != Isa::Scalar; }
+
+}  // namespace decam::simd

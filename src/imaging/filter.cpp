@@ -1,9 +1,17 @@
 #include "imaging/filter.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/simd.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace decam {
@@ -114,8 +122,10 @@ void rank_min_max(const Image& img, int k, Op op, Image& out) {
 // binary-search inserts into a k^2 array (tiny memmoves) instead of
 // rebuilding and nth_element-ing the window per pixel. The median is always
 // an element of the input, so results match the naive filter bit-exactly —
-// including the duplicated values clamped borders contribute.
-void rank_median(const Image& img, int k, Image& out) {
+// including the duplicated values clamped borders contribute. This is the
+// fallback for float images off the 8/16-bit grids (see
+// classify_median_path); the grid paths below are O(1) per pixel.
+void rank_median_exact(const Image& img, int k, Image& out) {
   const int w = img.width();
   const int h = img.height();
   const std::size_t window_size = static_cast<std::size_t>(k) * k;
@@ -169,7 +179,543 @@ void rank_median(const Image& img, int k, Image& out) {
   }
 }
 
+// ------------------------------------------- running-histogram median --
+//
+// Perreault & Hébert 2007: one histogram per image column, maintained
+// incrementally as the window moves down, and a kernel histogram that
+// slides across the row by adding the entering column's histogram and
+// subtracting the leaving one — constant work per pixel, independent of k.
+// Two levels keep the per-pixel work small: 16 coarse bins (the high
+// nibble) are merged on every step and locate the 16-bin fine segment
+// holding the median; fine segments are synced lazily, only when the
+// coarse descent lands on them, each tracking the window position it last
+// summed. Both levels live in one contiguous 272-entry uint16 block per
+// column (fine 0..255, coarse 256..271); the row-start rebuild is a SIMD
+// sweep (simd::ops().hist_add_u16) and both rank descents are branch-free
+// — on x86-64 an inlined SSE2 prefix-sum descent, elsewhere the scalar
+// algorithm of the simd::SimdOps::hist_rank16_u16 contract.
+//
+// Counts are uint16: the kernel histogram holds exactly k*k samples
+// (clamped borders re-count edge pixels), so k <= 255 guarantees no
+// overflow; rank_median() falls back to the exact path beyond that.
+constexpr int kFineBins8 = 256;
+constexpr int kCoarseBins8 = 16;
+constexpr int kHistStride8 = kFineBins8 + kCoarseBins8;
+
+constexpr int kSegBins8 = 16;  // fine bins per coarse segment
+
+// One level of the two-level rank descent: smallest index whose inclusive
+// prefix sum exceeds `r` (16 when none does), with `*below` receiving the
+// prefix sum before it — the simd::SimdOps::hist_rank16_u16 contract,
+// inlined here because it runs twice per output pixel. Counts are
+// integers, so both formulations below are exact and interchangeable.
+// The SSE2 path keeps prefix sums in u16 lanes, which is valid because
+// the k <= 255 routing guard bounds every window total by k*k <= 65025.
+#if defined(__SSE2__)
+// SSE2 is x86-64 baseline, so this TU may use it without -m flags. The
+// descent works on 16-bin *inclusive prefix sums* held in two XMM halves:
+// unsigned compare via saturating subtract, index from a psadbw count of
+// the lanes the compare keeps. The prefixes themselves are maintained
+// incrementally (add the prefix of the per-step delta strip), which keeps
+// the per-pixel serial chain to one vector add + compare + count instead
+// of a full in-loop prefix computation — the descent latency, not its
+// throughput, is what bounds this filter.
+inline __m128i load16(const std::uint16_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void store16(std::uint16_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+// Inclusive u16 prefix sum of 8 lanes (three lane-shift adds).
+inline __m128i prefix8_sse2(__m128i x) {
+  x = _mm_add_epi16(x, _mm_slli_si128(x, 2));
+  x = _mm_add_epi16(x, _mm_slli_si128(x, 4));
+  return _mm_add_epi16(x, _mm_slli_si128(x, 8));
+}
+// Broadcast lane 7 (the running total) to all lanes — two shuffles, no
+// GPR round trip.
+inline __m128i bcast_lane7_sse2(__m128i x) {
+  x = _mm_shufflehi_epi16(x, _MM_SHUFFLE(3, 3, 3, 3));
+  return _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+}
+// Count of prefix lanes <= rank (== the descent index); the compare masks
+// are returned for the caller's masked `below` sum. cum <= r  <=>
+// saturating cum - r == 0 (unsigned u16 compare in SSE2).
+inline int count_le_sse2(__m128i p0, __m128i p1, __m128i rv, __m128i* le0,
+                         __m128i* le1) {
+  const __m128i zero = _mm_setzero_si128();
+  *le0 = _mm_cmpeq_epi16(_mm_subs_epu16(p0, rv), zero);
+  *le1 = _mm_cmpeq_epi16(_mm_subs_epu16(p1, rv), zero);
+  // Horizontal count of set lanes via psadbw over 0/1/2-valued bytes.
+  // Never use movemask + __builtin_popcount here: without -mpopcnt that
+  // lowers to a __popcountdi2 libcall, and two calls per pixel force the
+  // compiler to spill every live XMM register around them — measured as
+  // the single largest cost in this loop.
+  const __m128i one = _mm_set1_epi16(1);
+  const __m128i cnt = _mm_sad_epu8(
+      _mm_add_epi16(_mm_and_si128(*le0, one), _mm_and_si128(*le1, one)),
+      zero);
+  return _mm_cvtsi128_si32(_mm_add_epi64(cnt, _mm_srli_si128(cnt, 8)));
+}
+#else
+inline int hist_rank16(const std::uint16_t* bins, std::uint32_t r,
+                       std::uint32_t* below) {
+  std::uint32_t cum = 0;
+  std::uint32_t pre = 0;
+  int idx = 0;
+  for (int i = 0; i < 16; ++i) {
+    cum += bins[i];
+    const bool le = cum <= r;
+    idx += le ? 1 : 0;
+    pre = le ? cum : pre;
+  }
+  *below = pre;
+  return idx;
+}
+#endif
+
+void rank_median_hist8(const Image& img, int k, Image& out) {
+  const int w = img.width();
+  const int h = img.height();
+  const simd::SimdOps& ops = simd::ops();
+  const unsigned rank = static_cast<unsigned>(k) * k / 2;  // upper median
+
+  std::vector<std::uint8_t> idx(img.plane_size());
+  std::vector<std::uint16_t> cols(static_cast<std::size_t>(w) *
+                                  kHistStride8);
+  std::vector<std::uint16_t> kern(kHistStride8);
+  // sync[s] = window position x whose columns the kernel fine segment s
+  // currently sums. The coarse level is merged every step; fine segments
+  // are brought forward only when the coarse descent lands on them
+  // (Perreault & Hébert's conditional fine update) — with spatially
+  // coherent medians that is a couple of 16-bin column strips per pixel
+  // instead of the full 256-bin merge.
+  std::array<int, kCoarseBins8> sync{};
+  const auto col_hist = [&](int x) {
+    return cols.data() + static_cast<std::size_t>(x) * kHistStride8;
+  };
+#if defined(__SSE2__)
+  // Median codes are produced as integers and converted to float in one
+  // vector pass per row: a per-pixel cvtsi2ss sits on the already tight
+  // descent chain, a batched cvtdq2ps does not.
+  std::vector<std::int32_t> code(static_cast<std::size_t>(w));
+#endif
+
+#if !defined(__SSE2__)
+  // Bring fine segment s forward from window position sync[s] to x: slide
+  // (subtract the leaving column strip, add the entering one, exactly the
+  // strips a full per-step merge would have applied) — or rebuild from the
+  // k window columns when that is fewer strip operations.
+  const auto sync_segment = [&](int s, int x) {
+    std::uint16_t* seg = kern.data() + s * kSegBins8;
+    const int x0 = sync[static_cast<std::size_t>(s)];
+    if (x0 == x) return;
+    if (2 * (x - x0) > k + 1) {
+      std::fill(seg, seg + kSegBins8, std::uint16_t{0});
+      for (int j = 0; j < k; ++j) {
+        const std::uint16_t* col =
+            col_hist(std::min(x + j, w - 1)) + s * kSegBins8;
+        for (int t = 0; t < kSegBins8; ++t) {
+          seg[t] = static_cast<std::uint16_t>(seg[t] + col[t]);
+        }
+      }
+    } else {
+      for (int j = x0; j < x; ++j) {
+        const std::uint16_t* add =
+            col_hist(std::min(j + k, w - 1)) + s * kSegBins8;
+        const std::uint16_t* sub = col_hist(j) + s * kSegBins8;
+        for (int t = 0; t < kSegBins8; ++t) {
+          seg[t] = static_cast<std::uint16_t>(seg[t] + add[t] - sub[t]);
+        }
+      }
+    }
+    sync[static_cast<std::size_t>(s)] = x;
+  };
+
+  // Two-level descent at window position x: branch-free coarse rank, lazy
+  // sync of the winning segment, branch-free fine rank within it. The
+  // descents are inlined (an indirect SimdOps call per level would cost
+  // more than the scan) and use the hist_rank16_u16 algorithm the parity
+  // tests pin; results are integer counts, identical on every path.
+  const auto select = [&](int x) {
+    std::uint32_t below = 0;
+    const int s = hist_rank16(kern.data() + kFineBins8, rank, &below);
+    sync_segment(s, x);
+    std::uint32_t unused = 0;
+    const int off =
+        hist_rank16(kern.data() + s * kSegBins8, rank - below, &unused);
+    return static_cast<float>(s * kSegBins8 + off);
+  };
+#endif
+
+  for (int c = 0; c < img.channels(); ++c) {
+    // Values are exactly integral in [0, 255] (classify_median_path), so
+    // the u8 index plane is a lossless relabeling.
+    const float* plane = img.plane(c).data();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      idx[i] = static_cast<std::uint8_t>(static_cast<int>(plane[i]));
+    }
+
+    // Prime the column histograms with window rows of y = 0 (clamped).
+    std::fill(cols.begin(), cols.end(), std::uint16_t{0});
+    for (int r = 0; r < k; ++r) {
+      const std::uint8_t* row =
+          idx.data() + static_cast<std::size_t>(std::min(r, h - 1)) * w;
+      for (int x = 0; x < w; ++x) {
+        std::uint16_t* col = col_hist(x);
+        ++col[row[x]];
+        ++col[kFineBins8 + (row[x] >> 4)];
+      }
+    }
+
+    for (int y = 0; y < h; ++y) {
+      if (y > 0) {
+        // Window rows {clamp(y-1+d)} -> {clamp(y+d)}: row y-1 leaves, row
+        // clamp(y+k-1) enters (identical when the bottom edge clamps).
+        const std::uint8_t* leave =
+            idx.data() + static_cast<std::size_t>(y - 1) * w;
+        const std::uint8_t* enter =
+            idx.data() + static_cast<std::size_t>(std::min(y + k - 1, h - 1)) * w;
+        for (int x = 0; x < w; ++x) {
+          std::uint16_t* col = col_hist(x);
+          --col[leave[x]];
+          --col[kFineBins8 + (leave[x] >> 4)];
+          ++col[enter[x]];
+          ++col[kFineBins8 + (enter[x] >> 4)];
+        }
+      }
+
+      // Full kernel histogram (both levels, every segment synced) at x = 0.
+      // Columns past the right edge replicate column w-1, re-adding its
+      // histogram.
+      std::fill(kern.begin(), kern.end(), std::uint16_t{0});
+      for (int j = 0; j < k; ++j) {
+        ops.hist_add_u16(kern.data(), col_hist(std::min(j, w - 1)),
+                         kHistStride8);
+      }
+      sync.fill(0);
+      float* out_row = out.row(y, c).data();
+#if defined(__SSE2__)
+      // Register-resident, prefix-domain inner loop. Everything the two
+      // rank descents touch stays in XMM registers across the row:
+      //   cp0/cp1 — inclusive prefix sums of the 16 coarse counts,
+      //   fp0/fp1 — the prefix sums of the fine segment `s_cur`.
+      // Per step, the prefix registers advance by the *prefix of the
+      // delta strip* (entering minus leaving column), which is
+      // independent of the descents and schedules ahead of them; the
+      // per-pixel serial chain is then just add -> compare -> lane
+      // count per level. Descent latency — not arithmetic
+      // throughput — is what bounds this loop; formulations that
+      // recompute prefixes in-loop or round-trip counts through memory
+      // measure ~50% slower on chain latency and store-forwarding
+      // stalls.
+      //
+      // u16 prefix lanes stay exact under the wrapping deltas because
+      // every true prefix is bounded by the window total k*k <= 65025.
+      //
+      // The fine segment is synced to memory only when the descent
+      // *switches* segments (sync[] keeps each segment's last synced
+      // position); while resident it slides in registers and memory is
+      // deliberately left stale — correct, because sync[s_cur] still
+      // names the position its memory copy reflects.
+      const __m128i rankv = _mm_set1_epi16(static_cast<short>(rank));
+      __m128i cp0 = prefix8_sse2(load16(kern.data() + kFineBins8));
+      __m128i cp1 =
+          _mm_add_epi16(prefix8_sse2(load16(kern.data() + kFineBins8 + 8)),
+                        bcast_lane7_sse2(cp0));
+      int s_cur = -1;  // no fine segment resident yet
+      __m128i fp0 = _mm_setzero_si128();
+      __m128i fp1 = _mm_setzero_si128();
+      for (int x = 0; x < w; ++x) {
+        if (x > 0) {
+          const std::uint16_t* addcol = col_hist(std::min(x + k - 1, w - 1));
+          const std::uint16_t* subcol = col_hist(x - 1);
+          // Coarse prefix advances by the prefix of the delta strip.
+          const std::uint16_t* addc = addcol + kFineBins8;
+          const std::uint16_t* subc = subcol + kFineBins8;
+          const __m128i dc0 = _mm_sub_epi16(load16(addc), load16(subc));
+          const __m128i dc1 =
+              _mm_sub_epi16(load16(addc + 8), load16(subc + 8));
+          const __m128i pc0 = prefix8_sse2(dc0);
+          const __m128i pc1 =
+              _mm_add_epi16(prefix8_sse2(dc1), bcast_lane7_sse2(pc0));
+          cp0 = _mm_add_epi16(cp0, pc0);
+          cp1 = _mm_add_epi16(cp1, pc1);
+          // Resident fine segment: slide its prefix the same way. This
+          // is speculative — wasted only when the descent switches
+          // segments — and its strip addresses are known before the
+          // coarse descent resolves, so it runs in the latency shadow.
+          const std::uint16_t* addf = addcol + s_cur * kSegBins8;
+          const std::uint16_t* subf = subcol + s_cur * kSegBins8;
+          const __m128i df0 = _mm_sub_epi16(load16(addf), load16(subf));
+          const __m128i df1 =
+              _mm_sub_epi16(load16(addf + 8), load16(subf + 8));
+          const __m128i pf0 = prefix8_sse2(df0);
+          const __m128i pf1 =
+              _mm_add_epi16(prefix8_sse2(df1), bcast_lane7_sse2(pf0));
+          fp0 = _mm_add_epi16(fp0, pf0);
+          fp1 = _mm_add_epi16(fp1, pf1);
+        }
+        __m128i le0;
+        __m128i le1;
+        const int s = count_le_sse2(cp0, cp1, rankv, &le0, &le1);
+        // below = coarse prefix before segment s. The masked prefixes are
+        // nondecreasing, so their max is exactly cp[s-1]; every lane the
+        // mask keeps is <= rank <= 32512, inside signed-16 range, so
+        // epi16 max is exact. Folded and broadcast without leaving the
+        // vector domain — a GPR round trip (extract + set1) would add
+        // ~6 cycles to the chain feeding the fine compare — and folds in
+        // parallel with the popcount that produces s.
+        __m128i bv = _mm_max_epi16(_mm_and_si128(cp0, le0),
+                                   _mm_and_si128(cp1, le1));
+        bv = _mm_max_epi16(bv, _mm_srli_si128(bv, 8));
+        bv = _mm_max_epi16(bv, _mm_srli_si128(bv, 4));
+        bv = _mm_max_epi16(bv, _mm_srli_si128(bv, 2));
+        bv = _mm_shufflelo_epi16(bv, _MM_SHUFFLE(0, 0, 0, 0));
+        bv = _mm_shuffle_epi32(bv, _MM_SHUFFLE(0, 0, 0, 0));
+        const __m128i rvf = _mm_sub_epi16(rankv, bv);
+        if (s != s_cur) {
+          // Bring segment s forward from sync[s] (slide, or rebuild from
+          // the k window columns when that is fewer strips), write the
+          // raw counts back for future switches, and promote its prefix
+          // to the registers.
+          std::uint16_t* seg = kern.data() + s * kSegBins8;
+          __m128i f0;
+          __m128i f1;
+          const int x0 = sync[static_cast<std::size_t>(s)];
+          if (x0 == x) {
+            f0 = load16(seg);
+            f1 = load16(seg + 8);
+          } else {
+            if (2 * (x - x0) > k + 1) {
+              f0 = _mm_setzero_si128();
+              f1 = _mm_setzero_si128();
+              for (int j = 0; j < k; ++j) {
+                const std::uint16_t* col =
+                    col_hist(std::min(x + j, w - 1)) + s * kSegBins8;
+                f0 = _mm_add_epi16(f0, load16(col));
+                f1 = _mm_add_epi16(f1, load16(col + 8));
+              }
+            } else {
+              f0 = load16(seg);
+              f1 = load16(seg + 8);
+              for (int j = x0; j < x; ++j) {
+                const std::uint16_t* add =
+                    col_hist(std::min(j + k, w - 1)) + s * kSegBins8;
+                const std::uint16_t* sub = col_hist(j) + s * kSegBins8;
+                f0 = _mm_sub_epi16(_mm_add_epi16(f0, load16(add)),
+                                   load16(sub));
+                f1 = _mm_sub_epi16(_mm_add_epi16(f1, load16(add + 8)),
+                                   load16(sub + 8));
+              }
+            }
+            store16(seg, f0);
+            store16(seg + 8, f1);
+            sync[static_cast<std::size_t>(s)] = x;
+          }
+          fp0 = prefix8_sse2(f0);
+          fp1 = _mm_add_epi16(prefix8_sse2(f1), bcast_lane7_sse2(fp0));
+          s_cur = s;
+        }
+        __m128i g0;
+        __m128i g1;
+        const int off = count_le_sse2(fp0, fp1, rvf, &g0, &g1);
+        code[x] = s * kSegBins8 + off;
+      }
+      {
+        int x = 0;
+        for (; x + 4 <= w; x += 4) {
+          _mm_storeu_ps(out_row + x,
+                        _mm_cvtepi32_ps(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(code.data() + x))));
+        }
+        for (; x < w; ++x) out_row[x] = static_cast<float>(code[x]);
+      }
+#else
+      out_row[0] = select(0);
+      for (int x = 1; x < w; ++x) {
+        // Slide the coarse level only; fine segments catch up on demand.
+        const std::uint16_t* addc =
+            col_hist(std::min(x + k - 1, w - 1)) + kFineBins8;
+        const std::uint16_t* subc = col_hist(x - 1) + kFineBins8;
+        std::uint16_t* kc = kern.data() + kFineBins8;
+        for (int t = 0; t < kCoarseBins8; ++t) {
+          kc[t] = static_cast<std::uint16_t>(kc[t] + addc[t] - subc[t]);
+        }
+        out_row[x] = select(x);
+      }
+#endif
+    }
+  }
+}
+
+// 16-bit grid (values i / 256 for integral i in [0, 65535]): per-column
+// fine histograms would need 128 KiB each, so this path runs Huang's
+// algorithm instead — one kernel histogram, updated with the k samples of
+// the entering column and the k of the leaving one — walked in serpentine
+// order so moving down a row reuses the window instead of rebuilding it.
+// Still two-level (256 coarse segments of 256 fine bins) to keep the
+// median search short. O(k) per pixel, but with counters instead of the
+// sorted window's O(k log k) memmove traffic.
+void rank_median_hist16(const Image& img, int k, Image& out) {
+  const int w = img.width();
+  const int h = img.height();
+  const unsigned rank = static_cast<unsigned>(k) * k / 2;
+
+  std::vector<std::uint16_t> idx(img.plane_size());
+  std::vector<std::uint16_t> fine(65536);
+  std::vector<std::uint16_t> coarse(256);
+  const auto add = [&](std::uint16_t v) {
+    ++fine[v];
+    ++coarse[v >> 8];
+  };
+  const auto remove = [&](std::uint16_t v) {
+    --fine[v];
+    --coarse[v >> 8];
+  };
+  const auto select = [&]() {
+    unsigned cum = 0;
+    int seg = 0;
+    for (;; ++seg) {
+      const unsigned next = cum + coarse[seg];
+      if (next > rank) break;
+      cum = next;
+    }
+    int bin = seg * 256;
+    for (;; ++bin) {
+      cum += fine[bin];
+      if (cum > rank) break;
+    }
+    // Exact reconstruction: bin and 2^-8 are both exact in float, so the
+    // product is the original sample value bit for bit.
+    return static_cast<float>(bin) * 0.00390625f;
+  };
+
+  std::vector<const std::uint16_t*> rows(static_cast<std::size_t>(k));
+  for (int c = 0; c < img.channels(); ++c) {
+    const float* plane = img.plane(c).data();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      // v * 256 is integral and in [0, 65535] (classify_median_path); the
+      // power-of-two scale is exact, so this is a lossless relabeling.
+      idx[i] = static_cast<std::uint16_t>(
+          static_cast<int>(plane[i] * 256.0f));
+    }
+    std::fill(fine.begin(), fine.end(), std::uint16_t{0});
+    std::fill(coarse.begin(), coarse.end(), std::uint16_t{0});
+
+    // Initial window at (0, 0), clamped rows and columns.
+    for (int dy = 0; dy < k; ++dy) {
+      const std::uint16_t* row =
+          idx.data() + static_cast<std::size_t>(std::min(dy, h - 1)) * w;
+      for (int dx = 0; dx < k; ++dx) add(row[std::min(dx, w - 1)]);
+    }
+
+    int x = 0;
+    int dir = 1;
+    for (int y = 0; y < h; ++y) {
+      for (int dy = 0; dy < k; ++dy) {
+        rows[static_cast<std::size_t>(dy)] =
+            idx.data() + static_cast<std::size_t>(std::min(y + dy, h - 1)) * w;
+      }
+      if (y > 0) {
+        // Move the window down in place: row y-1 leaves, clamp(y+k-1)
+        // enters, at the current window columns {clamp(x+d)}.
+        const std::uint16_t* leave =
+            idx.data() + static_cast<std::size_t>(y - 1) * w;
+        const std::uint16_t* enter =
+            idx.data() + static_cast<std::size_t>(std::min(y + k - 1, h - 1)) * w;
+        for (int d = 0; d < k; ++d) {
+          const int col = std::min(x + d, w - 1);
+          remove(leave[col]);
+          add(enter[col]);
+        }
+      }
+      float* out_row = out.row(y, c).data();
+      for (;;) {
+        out_row[x] = select();
+        if (dir > 0 ? x == w - 1 : x == 0) break;
+        if (dir > 0) {
+          // Columns {clamp(x+d)} -> {clamp(x+1+d)}: col x leaves,
+          // clamp(x+k) enters.
+          const int in_col = std::min(x + k, w - 1);
+          for (int dy = 0; dy < k; ++dy) {
+            remove(rows[static_cast<std::size_t>(dy)][x]);
+            add(rows[static_cast<std::size_t>(dy)][in_col]);
+          }
+          ++x;
+        } else {
+          const int out_col = std::min(x + k - 1, w - 1);
+          for (int dy = 0; dy < k; ++dy) {
+            remove(rows[static_cast<std::size_t>(dy)][out_col]);
+            add(rows[static_cast<std::size_t>(dy)][x - 1]);
+          }
+          --x;
+        }
+      }
+      dir = -dir;
+    }
+  }
+}
+
+obs::Counter& median_path_counter(MedianPath path) {
+  static obs::Counter& grid8 =
+      obs::MetricsRegistry::instance().counter("rank_median/grid8");
+  static obs::Counter& grid16 =
+      obs::MetricsRegistry::instance().counter("rank_median/grid16");
+  static obs::Counter& exact =
+      obs::MetricsRegistry::instance().counter("rank_median/exact");
+  switch (path) {
+    case MedianPath::Grid8:
+      return grid8;
+    case MedianPath::Grid16:
+      return grid16;
+    case MedianPath::Exact:
+      break;
+  }
+  return exact;
+}
+
+void rank_median(const Image& img, int k, Image& out) {
+  // uint16 histogram counts require k*k <= 65535.
+  const MedianPath path =
+      k <= 255 ? classify_median_path(img) : MedianPath::Exact;
+  median_path_counter(path).add();
+  switch (path) {
+    case MedianPath::Grid8:
+      rank_median_hist8(img, k, out);
+      break;
+    case MedianPath::Grid16:
+      rank_median_hist16(img, k, out);
+      break;
+    case MedianPath::Exact:
+      rank_median_exact(img, k, out);
+      break;
+  }
+}
+
 }  // namespace
+
+MedianPath classify_median_path(const Image& img) {
+  // grid8 implies grid16 (v integral in [0,255] => v*256 integral in
+  // [0,65280]), so the scan can stop as soon as grid16 fails.
+  bool grid8 = true;
+  const float* data = img.data();
+  const std::size_t n = img.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    // Range checks are false for NaN; the int casts below are reached only
+    // for finite in-range values.
+    const float scaled = v * 256.0f;  // power-of-two scale: exact
+    if (!(scaled >= 0.0f && scaled <= 65535.0f &&
+          static_cast<float>(static_cast<int>(scaled)) == scaled)) {
+      return MedianPath::Exact;
+    }
+    if (grid8) {
+      grid8 = v <= 255.0f && static_cast<float>(static_cast<int>(v)) == v;
+    }
+  }
+  return grid8 ? MedianPath::Grid8 : MedianPath::Grid16;
+}
 
 Image rank_filter(const Image& img, int k, RankOp op) {
   DECAM_SPAN("imaging/rank_filter");
@@ -199,57 +745,48 @@ namespace {
 // and summed in DOUBLE precision in ascending tap order, and the total is
 // truncated to float once. Both passes read from edge-padded contiguous
 // scanlines (horizontal: an explicit padded copy of the row; vertical: a
-// clamped row pointer), so the inner loops are branch-free — the arithmetic
-// sequence per pixel is exactly the one the original at_clamped formulation
-// produced, keeping this path bit-compatible with it.
+// clamped row pointer) and run each tap as one vectorized row sweep
+// (simd::ops().tap_accumulate_f32 — float product, double accumulate). Each
+// accumulator still receives its taps in ascending offset order starting
+// from 0.0, so the arithmetic sequence per pixel is exactly the one the
+// original at_clamped formulation produced, keeping this path
+// bit-compatible with it on every dispatch variant.
 Image separable_convolve(const Image& img, const std::vector<float>& kernel) {
   const int radius = static_cast<int>(kernel.size() / 2);
   const int w = img.width();
   const int h = img.height();
   const int taps = static_cast<int>(kernel.size());
+  const simd::SimdOps& ops = simd::ops();
 
   Image mid(w, h, img.channels());
   std::vector<float> pad(static_cast<std::size_t>(w + 2 * radius));
+  std::vector<double> acc(static_cast<std::size_t>(w));
   for (int c = 0; c < img.channels(); ++c) {
     for (int y = 0; y < h; ++y) {
       const float* row = img.row(y, c).data();
       std::fill(pad.begin(), pad.begin() + radius, row[0]);
       std::copy(row, row + w, pad.begin() + radius);
       std::fill(pad.begin() + radius + w, pad.end(), row[w - 1]);
-      float* mid_row = mid.row(y, c).data();
-      for (int x = 0; x < w; ++x) {
-        double acc = 0.0;
-        const float* in = pad.data() + x;
-        for (int i = 0; i < taps; ++i) {
-          // float product, double accumulate — the exact arithmetic the
-          // original per-pixel at_clamped formulation performed, so the
-          // scanline rewrite stays bit-compatible (imaging/filter.h).
-          acc += kernel[static_cast<std::size_t>(i)] * in[i];
-        }
-        mid_row[x] = static_cast<float>(acc);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int i = 0; i < taps; ++i) {
+        ops.tap_accumulate_f32(acc.data(), pad.data() + i,
+                               kernel[static_cast<std::size_t>(i)], w);
       }
+      ops.narrow_f64_f32(mid.row(y, c).data(), acc.data(), w);
     }
   }
 
   Image out(w, h, img.channels());
-  std::vector<double> acc(static_cast<std::size_t>(w));
   for (int c = 0; c < img.channels(); ++c) {
     for (int y = 0; y < h; ++y) {
       std::fill(acc.begin(), acc.end(), 0.0);
       for (int i = 0; i < taps; ++i) {
-        const float kw = kernel[static_cast<std::size_t>(i)];
         const float* mid_row =
             mid.row(std::clamp(y + i - radius, 0, h - 1), c).data();
-        for (int x = 0; x < w; ++x) {
-          // Same bit-compatibility contract as the horizontal pass: float
-          // product, double accumulate, taps in ascending offset order.
-          acc[static_cast<std::size_t>(x)] += kw * mid_row[x];
-        }
+        ops.tap_accumulate_f32(acc.data(), mid_row,
+                               kernel[static_cast<std::size_t>(i)], w);
       }
-      float* out_row = out.row(y, c).data();
-      for (int x = 0; x < w; ++x) {
-        out_row[x] = static_cast<float>(acc[static_cast<std::size_t>(x)]);
-      }
+      ops.narrow_f64_f32(out.row(y, c).data(), acc.data(), w);
     }
   }
   return out;

@@ -1,8 +1,11 @@
-// Spatial filters. The paper's filtering detection method (Section III-B)
-// runs a k x k MINIMUM filter over the input; median and maximum are
-// implemented alongside because the paper compares all three (its Fig. 4)
-// and the ablation benches sweep them. Box/Gaussian blur support the
-// synthetic dataset generator and robustness experiments.
+// Spatial filters. rank_filter() dispatches a k x k rank operation —
+// minimum (the paper's filtering detection method, Section III-B; its
+// Algorithm 2 uses k = 2), median, or maximum (the paper's Fig. 4
+// comparison and the ablation benches sweep all three) — onto the
+// per-operation fast paths below: van Herk/Gil–Werman scanline passes for
+// min/max, a running-histogram median (or the exact sorted-window fallback)
+// for median. Box/Gaussian blur support the synthetic dataset generator and
+// robustness experiments.
 //
 // Border handling: edge replication (same as the clamped taps used by the
 // scalers), window anchored at the top-left as in erode/dilate with an
@@ -20,6 +23,19 @@
 // running sum (O(1) per pixel regardless of k), which re-associates the
 // additions; its outputs may differ from the naive sum by a last-ulp
 // rounding step, i.e. a max abs error on the order of 1e-6 of full scale.
+//
+// Float -> histogram eligibility (median): Image stores floats, but the
+// histogram median needs a finite bin grid, so rank_filter classifies the
+// image once per call (classify_median_path). A plane whose values are all
+// exactly integral in [0, 255] takes the 8-bit Perreault–Hébert path; one
+// whose values are all exactly i/256 for integral i in [0, 65535] (v * 256
+// is a power-of-two scale, so the test and the relabeling are both exact)
+// takes the 16-bit histogram path; anything else — including NaN, negative
+// or out-of-range values — falls back to the exact sorted-window median.
+// Every path returns an actual sample of the window, and bin -> float
+// reconstruction is exact on both grids, so the result is bit-identical to
+// the naive filter no matter which path ran. The rank_median/{grid8,
+// grid16, exact} counters record the routing.
 #pragma once
 
 #include "imaging/image.h"
@@ -27,6 +43,13 @@
 namespace decam {
 
 enum class RankOp { Min, Median, Max };
+
+/// Which median implementation an image is eligible for (see the
+/// float -> histogram eligibility contract above).
+enum class MedianPath { Grid8, Grid16, Exact };
+
+/// One-pass classifier over every plane; exposed for tests and benches.
+MedianPath classify_median_path(const Image& img);
 
 /// k x k rank filter (k >= 1). Each output pixel is the min/median/max of
 /// the window anchored at that pixel, per channel.

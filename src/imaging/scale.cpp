@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/simd.h"
 #include "obs/span.h"
 
 namespace decam {
@@ -32,6 +33,9 @@ Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
   // identical to the column-walk formulation, so outputs are bit-exact
   // either way. The first tap assigns (0 + w*v == w*v exactly) and the last
   // tap fuses the cast, so a support-n row costs n row sweeps, not n + 2.
+  // Each sweep is one runtime-dispatched SIMD row op (common/simd.h), whose
+  // contract pins exactly that arithmetic on every variant.
+  const simd::SimdOps& ops = simd::ops();
   Image out(out_width, out_height, src.channels());
   std::vector<double> acc(static_cast<std::size_t>(out_width));
   double* acc_p = acc.data();
@@ -41,30 +45,19 @@ Image resize(const Image& src, int out_width, int out_height, ScaleAlgo algo) {
       const std::size_t n = taps.size();
       float* out_row = out.row(o, c).data();
       if (n == 1) {
-        const double w = taps[0].weight;
-        const float* mid_row = mid.row(taps[0].index, c).data();
-        for (int x = 0; x < out_width; ++x) {
-          out_row[x] = static_cast<float>(w * mid_row[x]);
-        }
+        ops.weighted_assign_f32(out_row, mid.row(taps[0].index, c).data(),
+                                taps[0].weight, out_width);
         continue;
       }
-      {
-        const double w = taps[0].weight;
-        const float* mid_row = mid.row(taps[0].index, c).data();
-        for (int x = 0; x < out_width; ++x) acc_p[x] = w * mid_row[x];
-      }
+      ops.weighted_init_f64(acc_p, mid.row(taps[0].index, c).data(),
+                            taps[0].weight, out_width);
       for (std::size_t t = 1; t + 1 < n; ++t) {
-        const double w = taps[t].weight;
-        const float* mid_row = mid.row(taps[t].index, c).data();
-        for (int x = 0; x < out_width; ++x) acc_p[x] += w * mid_row[x];
+        ops.weighted_add_f64(acc_p, mid.row(taps[t].index, c).data(),
+                             taps[t].weight, out_width);
       }
-      {
-        const double w = taps[n - 1].weight;
-        const float* mid_row = mid.row(taps[n - 1].index, c).data();
-        for (int x = 0; x < out_width; ++x) {
-          out_row[x] = static_cast<float>(acc_p[x] + w * mid_row[x]);
-        }
-      }
+      ops.weighted_finish_f32(out_row, acc_p,
+                              mid.row(taps[n - 1].index, c).data(),
+                              taps[n - 1].weight, out_width);
     }
   }
   return out;

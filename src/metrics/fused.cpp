@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/simd.h"
+
 namespace decam {
 namespace {
 
@@ -12,7 +14,7 @@ constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
 constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
 constexpr int kRadius = 5;       // 11-tap Gaussian, sigma 1.5 (ssim.cpp)
 constexpr int kTaps = 2 * kRadius + 1;
-constexpr int kStats = 5;        // mu_a, mu_b, m_aa, m_bb, m_ab per pixel
+constexpr int kStats = 5;        // mu_a, mu_b, m_aa, m_bb, m_ab planes
 
 // Same window as metrics/ssim.cpp — normalised 11-tap Gaussian.
 const std::array<double, kTaps>& ssim_window() {
@@ -35,49 +37,52 @@ const std::array<double, kTaps>& ssim_window() {
 // squared differences accumulate in flat data order, exactly like mse().
 // Returns the plane's SSIM map sum (row-major accumulation, as in
 // ssim_plane()); divide by the pixel count for the plane mean.
+//
+// Every windowed sum is accumulated per tap in ascending order starting
+// from 0.0, so restructuring the loops into per-tap plane sweeps (the SIMD
+// row ops of common/simd.h) leaves each accumulator's addition sequence —
+// and therefore every output bit — unchanged.
 double fused_plane(std::span<const float> a, std::span<const float> b,
-                   int width, int height, std::vector<double>& ring,
+                   int width, int height, PairStatsWorkspace& ws,
                    double& mse_sum) {
   const std::array<double, kTaps>& win = ssim_window();
-  const std::size_t row_doubles =
-      static_cast<std::size_t>(width) * kStats;
-  ring.resize(row_doubles * kTaps);
+  const simd::SimdOps& ops = simd::ops();
+  const std::size_t w_sz = static_cast<std::size_t>(width);
+  const std::size_t pad_sz = w_sz + 2 * kRadius;
+  // One ring row holds the five horizontal window-sum planes stat-major:
+  // mu_a at 0, mu_b at width, m_aa at 2*width, m_bb, m_ab.
+  const std::size_t row_doubles = w_sz * kStats;
+  ws.ring.resize(row_doubles * kTaps);
+  ws.a_pad.resize(pad_sz);
+  ws.b_pad.resize(pad_sz);
+  ws.sq.resize(w_sz);
+  ws.vacc.resize(row_doubles);
 
   // Horizontal pass for source row y: per pixel, the five 11-tap windowed
-  // sums, each accumulated in tap order (identical to filtering the
-  // precomputed value/product planes). The MSE row sum rides along so the
-  // pair is read exactly once per tap and once for the difference.
+  // sums over the edge-replicated row (a_pad[kRadius + x] = a[x], so tap t
+  // of output pixel x reads pad[x + t] = clamp(x + t - kRadius)). The MSE
+  // row sum rides along so the pair is read exactly once per tap and once
+  // for the difference.
   const auto compute_mid_row = [&](int y) {
-    const std::size_t base = static_cast<std::size_t>(y) * width;
-    double* mid = ring.data() + static_cast<std::size_t>(y % kTaps) *
-                                    row_doubles;
-    for (int x = 0; x < width; ++x) {
-      double acc_a = 0.0, acc_b = 0.0;
-      double acc_aa = 0.0, acc_bb = 0.0, acc_ab = 0.0;
-      for (int i = -kRadius; i <= kRadius; ++i) {
-        const double w = win[static_cast<std::size_t>(i + kRadius)];
-        const std::size_t sx =
-            static_cast<std::size_t>(std::clamp(x + i, 0, width - 1));
-        const double da = a[base + sx];
-        const double db = b[base + sx];
-        acc_a += w * da;
-        acc_b += w * db;
-        acc_aa += w * (da * da);
-        acc_bb += w * (db * db);
-        acc_ab += w * (da * db);
-      }
-      double* out = mid + static_cast<std::size_t>(x) * kStats;
-      out[0] = acc_a;
-      out[1] = acc_b;
-      out[2] = acc_aa;
-      out[3] = acc_bb;
-      out[4] = acc_ab;
-    }
-    for (int x = 0; x < width; ++x) {
-      const double d = static_cast<double>(a[base + x]) -
-                       static_cast<double>(b[base + x]);
-      mse_sum += d * d;
-    }
+    const std::size_t base = static_cast<std::size_t>(y) * w_sz;
+    std::fill(ws.a_pad.begin(), ws.a_pad.begin() + kRadius, a[base]);
+    std::fill(ws.b_pad.begin(), ws.b_pad.begin() + kRadius, b[base]);
+    std::copy(a.begin() + base, a.begin() + base + w_sz,
+              ws.a_pad.begin() + kRadius);
+    std::copy(b.begin() + base, b.begin() + base + w_sz,
+              ws.b_pad.begin() + kRadius);
+    std::fill(ws.a_pad.end() - kRadius, ws.a_pad.end(), a[base + w_sz - 1]);
+    std::fill(ws.b_pad.end() - kRadius, ws.b_pad.end(), b[base + w_sz - 1]);
+
+    double* mid = ws.ring.data() +
+                  static_cast<std::size_t>(y % kTaps) * row_doubles;
+    std::fill(mid, mid + row_doubles, 0.0);
+    ops.pair_stats_taps(mid, mid + w_sz, mid + 2 * w_sz, mid + 3 * w_sz,
+                        mid + 4 * w_sz, ws.a_pad.data(), ws.b_pad.data(),
+                        win.data(), kTaps, width);
+
+    ops.sqdiff_f64(ws.sq.data(), a.data() + base, b.data() + base, width);
+    for (int x = 0; x < width; ++x) mse_sum += ws.sq[x];
   };
 
   double total = 0.0;
@@ -88,28 +93,28 @@ double fused_plane(std::span<const float> a, std::span<const float> b,
     const int last_needed = std::min(y + kRadius, height - 1);
     for (; next_mid <= last_needed; ++next_mid) compute_mid_row(next_mid);
 
-    const double* rows[kTaps];
-    for (int i = -kRadius; i <= kRadius; ++i) {
-      const int sy = std::clamp(y + i, 0, height - 1);
-      rows[i + kRadius] =
-          ring.data() + static_cast<std::size_t>(sy % kTaps) * row_doubles;
-    }
-    for (int x = 0; x < width; ++x) {
-      const std::size_t col = static_cast<std::size_t>(x) * kStats;
-      double mu_a = 0.0, mu_b = 0.0;
-      double m_aa = 0.0, m_bb = 0.0, m_ab = 0.0;
-      for (int i = 0; i < kTaps; ++i) {
-        const double w = win[static_cast<std::size_t>(i)];
-        const double* mid = rows[i] + col;
-        mu_a += w * mid[0];
-        mu_b += w * mid[1];
-        m_aa += w * mid[2];
-        m_bb += w * mid[3];
-        m_ab += w * mid[4];
+    std::fill(ws.vacc.begin(), ws.vacc.end(), 0.0);
+    for (int i = 0; i < kTaps; ++i) {
+      const int sy = std::clamp(y + i - kRadius, 0, height - 1);
+      const double* mid =
+          ws.ring.data() + static_cast<std::size_t>(sy % kTaps) * row_doubles;
+      const double tw = win[static_cast<std::size_t>(i)];
+      for (int p = 0; p < kStats; ++p) {
+        ops.daxpy_f64(ws.vacc.data() + static_cast<std::size_t>(p) * w_sz,
+                      mid + static_cast<std::size_t>(p) * w_sz, tw, width);
       }
-      const double va = m_aa - mu_a * mu_a;
-      const double vb = m_bb - mu_b * mu_b;
-      const double cov = m_ab - mu_a * mu_b;
+    }
+    const double* mu_a_p = ws.vacc.data();
+    const double* mu_b_p = mu_a_p + w_sz;
+    const double* m_aa_p = mu_a_p + 2 * w_sz;
+    const double* m_bb_p = mu_a_p + 3 * w_sz;
+    const double* m_ab_p = mu_a_p + 4 * w_sz;
+    for (int x = 0; x < width; ++x) {
+      const double mu_a = mu_a_p[x];
+      const double mu_b = mu_b_p[x];
+      const double va = m_aa_p[x] - mu_a * mu_a;
+      const double vb = m_bb_p[x] - mu_b * mu_b;
+      const double cov = m_ab_p[x] - mu_a * mu_b;
       const double num = (2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2);
       const double den =
           (mu_a * mu_a + mu_b * mu_b + kC1) * (va + vb + kC2);
@@ -135,7 +140,7 @@ PairStats pair_stats(const Image& a, const Image& b,
   double ssim_total = 0.0;
   for (int c = 0; c < a.channels(); ++c) {
     ssim_total += fused_plane(a.plane(c), b.plane(c), a.width(), a.height(),
-                              workspace.ring, mse_sum) /
+                              workspace, mse_sum) /
                   static_cast<double>(n);
   }
   PairStats stats;

@@ -31,11 +31,19 @@ struct PairStats {
   double psnr = 0.0;
 };
 
-/// Reusable scratch for the fused pass: the interleaved ring of horizontal
-/// window rows. One per thread (pair_stats() uses the calling thread's);
-/// sized 11 rows x width x 5 doubles on first use and reused across images.
+/// Reusable scratch for the fused pass. One per thread (pair_stats() uses
+/// the calling thread's); sized on first use and reused across images.
+/// `ring` holds 11 rows of the five horizontal window-sum planes (stat-major
+/// per row, so each vertical tap is a contiguous vectorizable sweep);
+/// `a_pad`/`b_pad` are the edge-replicated source rows the horizontal taps
+/// read, `sq` the per-row squared differences of the MSE walk, and `vacc`
+/// the five vertical accumulator planes.
 struct PairStatsWorkspace {
   std::vector<double> ring;
+  std::vector<float> a_pad;
+  std::vector<float> b_pad;
+  std::vector<double> sq;
+  std::vector<double> vacc;
 };
 
 /// The calling thread's default workspace.

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/simd.h"
 #include "core/ensemble.h"
 #include "core/filtering_detector.h"
 #include "core/pipeline.h"
@@ -18,6 +19,8 @@
 #include "core/steganalysis_detector.h"
 #include "data/rng.h"
 #include "data/synth.h"
+#include "metrics/ssim.h"
+#include "reference_kernels.h"
 #include "runtime/parallel.h"
 
 namespace decam {
@@ -139,6 +142,30 @@ TEST(BatteryGolden, ShortCircuitPreservesEvaluatedScores) {
       EXPECT_EQ(*fast_decision.scores[i], *full_decision.scores[i])
           << "member " << i;
     }
+  }
+}
+
+// A median filtering detector on an 8-bit-quantised scene takes the
+// histogram median path (the grid every decoded scan image is on); its
+// score must equal the naive sorted-window reference bit for bit, under
+// native and forced-scalar dispatch alike.
+TEST(BatteryGolden, MedianGridPathScoresBitIdentical) {
+  runtime::set_thread_count(1);
+  core::FilteringDetectorConfig config;
+  config.window = 3;
+  config.op = RankOp::Median;
+  const core::FilteringDetector detector(config);
+  const simd::Isa startup = simd::active_isa();
+  for (const Image& scene : golden_scenes()) {
+    const Image quantised = Image::from_u8(scene.to_u8(), scene.width(),
+                                           scene.height(), scene.channels());
+    ASSERT_EQ(classify_median_path(quantised), MedianPath::Grid8);
+    const double want =
+        ssim(quantised, testref::rank_filter(quantised, 3, RankOp::Median));
+    EXPECT_EQ(detector.score(quantised), want);
+    simd::set_active_isa(simd::Isa::Scalar);
+    EXPECT_EQ(detector.score(quantised), want);
+    simd::set_active_isa(startup);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +94,111 @@ TEST(RankFilterParity, MinMaxMedianMatchReferenceExactly) {
       }
     }
   }
+}
+
+// The histogram median paths (imaging/filter.h eligibility contract).
+// Quantised values land on the 8-bit grid (Perreault–Hébert path), i/256
+// values on the 16-bit grid (serpentine Huang path); both must reproduce
+// the sorted-window reference bit for bit, k = 15 included (larger than
+// every test shape, so the whole window is border replication).
+const int kGridKs[] = {1, 2, 3, 4, 5, 9, 15};
+
+Image random_grid8_image(int w, int h, int c, std::uint64_t seed) {
+  data::Rng rng(seed);
+  Image img(w, h, c);
+  for (int ch = 0; ch < c; ++ch) {
+    for (float& v : img.plane(ch)) {
+      v = static_cast<float>(static_cast<int>(rng.next_range(0.0, 256.0)));
+    }
+  }
+  return img;
+}
+
+Image random_grid16_image(int w, int h, int c, std::uint64_t seed) {
+  data::Rng rng(seed);
+  Image img(w, h, c);
+  for (int ch = 0; ch < c; ++ch) {
+    for (float& v : img.plane(ch)) {
+      const int i = static_cast<int>(rng.next_range(0.0, 65536.0));
+      v = static_cast<float>(i) * (1.0f / 256.0f);  // exact: 2^-8 scale
+    }
+  }
+  return img;
+}
+
+TEST(RankFilterParity, MedianGrid8MatchesReferenceExactly) {
+  for (const Shape& s : kRankShapes) {
+    const Image img = random_grid8_image(s.w, s.h, s.c, 4000u + s.w * 7u + s.h);
+    ASSERT_EQ(classify_median_path(img), MedianPath::Grid8);
+    for (const int k : kGridKs) {
+      expect_identical(rank_filter(img, k, RankOp::Median),
+                       testref::rank_filter(img, k, RankOp::Median),
+                       "grid8 " + std::to_string(s.w) + "x" +
+                           std::to_string(s.h) + "x" + std::to_string(s.c) +
+                           " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(RankFilterParity, MedianGrid16MatchesReferenceExactly) {
+  for (const Shape& s : kRankShapes) {
+    const Image img =
+        random_grid16_image(s.w, s.h, s.c, 5000u + s.w * 7u + s.h);
+    ASSERT_EQ(classify_median_path(img), MedianPath::Grid16);
+    for (const int k : kGridKs) {
+      expect_identical(rank_filter(img, k, RankOp::Median),
+                       testref::rank_filter(img, k, RankOp::Median),
+                       "grid16 " + std::to_string(s.w) + "x" +
+                           std::to_string(s.h) + "x" + std::to_string(s.c) +
+                           " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(RankFilterParity, OffGridMedianFallsBackAndMatches) {
+  // One off-grid pixel disqualifies the whole image; the exact sorted-window
+  // fallback must still reproduce the reference on the unchanged pixels.
+  Image img = random_grid8_image(16, 16, 3, 6001);
+  img.plane(1)[37] = 0.3f;
+  ASSERT_EQ(classify_median_path(img), MedianPath::Exact);
+  for (const int k : {2, 3, 9}) {
+    expect_identical(rank_filter(img, k, RankOp::Median),
+                     testref::rank_filter(img, k, RankOp::Median),
+                     "off-grid k=" + std::to_string(k));
+  }
+}
+
+TEST(MedianClassifier, RoutesByRepresentability) {
+  const auto one_pixel = [](float v) {
+    Image img(3, 3, 1);
+    for (float& p : img.plane(0)) p = 7.0f;
+    img.plane(0)[4] = v;
+    return img;
+  };
+  EXPECT_EQ(classify_median_path(one_pixel(0.0f)), MedianPath::Grid8);
+  EXPECT_EQ(classify_median_path(one_pixel(255.0f)), MedianPath::Grid8);
+  EXPECT_EQ(classify_median_path(one_pixel(0.5f)), MedianPath::Grid16);
+  EXPECT_EQ(classify_median_path(one_pixel(65535.0f / 256.0f)),
+            MedianPath::Grid16);  // top of the 16-bit grid
+  EXPECT_EQ(classify_median_path(one_pixel(0.3f)), MedianPath::Exact);
+  EXPECT_EQ(classify_median_path(one_pixel(-1.0f)), MedianPath::Exact);
+  EXPECT_EQ(classify_median_path(one_pixel(256.0f)),
+            MedianPath::Exact);  // integral but past the grid top
+  EXPECT_EQ(classify_median_path(one_pixel(300.25f)), MedianPath::Exact);
+  EXPECT_EQ(classify_median_path(
+                one_pixel(std::numeric_limits<float>::quiet_NaN())),
+            MedianPath::Exact);
+  EXPECT_EQ(
+      classify_median_path(one_pixel(std::numeric_limits<float>::infinity())),
+      MedianPath::Exact);
+
+  // Multi-channel: the coarsest plane decides for the whole image.
+  Image mixed(4, 4, 2);
+  for (float& p : mixed.plane(0)) p = 12.0f;   // grid8 on its own
+  for (float& p : mixed.plane(1)) p = 12.5f;   // grid16 only
+  EXPECT_EQ(classify_median_path(mixed), MedianPath::Grid16);
+  mixed.plane(1)[0] = 0.1f;
+  EXPECT_EQ(classify_median_path(mixed), MedianPath::Exact);
 }
 
 TEST(RankFilterParity, ConstantImageIsFixedPoint) {
