@@ -36,6 +36,7 @@
 #include "core/calibration_io.h"
 #include "core/ensemble.h"
 #include "core/filtering_detector.h"
+#include "core/preprocess_defense.h"
 #include "core/scaling_detector.h"
 #include "core/steganalysis_detector.h"
 #include "imaging/image_io.h"
@@ -64,7 +65,7 @@ namespace {
       "  scan <image|dir>... [--width W] [--height H] [--algo A]\n"
       "       [--profile F] [--stats] [--json] [--threads N]\n"
       "       [--metrics-out F] [--profile-tree] [--stacks-out F]\n"
-      "       [--short-circuit]\n"
+      "       [--short-circuit] [--defense SPEC]\n"
       "       directories expand to their .ppm/.pgm/.bmp files (sorted);\n"
       "       several inputs are scanned in parallel, one line per file\n"
       "       in input order; exit 1 = load failure, 3 = attack found;\n"
@@ -73,7 +74,12 @@ namespace {
       "       --metrics-out writes an OpenMetrics exposition of every\n"
       "       counter/gauge/histogram (SIGUSR1 re-dumps it mid-run);\n"
       "       --profile-tree prints the hierarchical stage profile,\n"
-      "       --stacks-out writes flamegraph-compatible collapsed stacks\n"
+      "       --stacks-out writes flamegraph-compatible collapsed stacks;\n"
+      "       --defense runs every detector through a preprocessing chain\n"
+      "       (spec grammar: none | step(+step)*, steps squeezeBITS,\n"
+      "       medianK, gaussSIGMA, jpegQUALITY, e.g. squeeze4+jpeg75;\n"
+      "       NOTE: thresholds calibrated on raw images need re-calibration\n"
+      "       against the defended scores)\n"
       "  calibrate <benign...> --out F [--percentile P] [--margin M]\n"
       "            [--width W]\n"
       "            [--height H] [--algo A] [--threads N]\n"
@@ -124,6 +130,7 @@ struct Options {
   std::string out;
   std::string metrics_out;   // OpenMetrics exposition destination
   std::string stacks_out;    // collapsed-stack (flamegraph) destination
+  std::string defense;       // preprocessing chain spec ("" / "none" = off)
   int threads = 0;  // 0 = DECAM_THREADS env / hardware default
   bool stats = false;
   bool json = false;
@@ -174,6 +181,8 @@ Options parse(int argc, char** argv, int first) {
       options.metrics_out = next();
     } else if (arg == "--stacks-out") {
       options.stacks_out = next();
+    } else if (arg == "--defense") {
+      options.defense = next();
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (arg == "--json") {
@@ -406,6 +415,28 @@ int cmd_scan(const Options& options) {
       return 1;
     }
     members.push_back({detector, found->second});
+  }
+
+  // A defense chain wraps every member AFTER the profile lookup (profiles
+  // key on the inner detector names). The wrapped names — e.g.
+  // "squeeze4>scaling/mse" — flow into the reports and latency metrics, so
+  // defended runs are visibly distinct from raw ones.
+  if (!options.defense.empty() && options.defense != "none") {
+    core::DefenseChain chain;
+    try {
+      chain = core::DefenseChain::parse(options.defense);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "scan: bad --defense spec: %s\n", error.what());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "note: scoring through defense '%s'; thresholds calibrated "
+                 "on raw images may not transfer\n",
+                 chain.name().c_str());
+    for (auto& member : members) {
+      member.detector =
+          std::make_shared<core::DefendedDetector>(member.detector, chain);
+    }
   }
 
   const core::EnsembleDetector ensemble{members};

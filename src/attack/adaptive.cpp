@@ -2,10 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
 
+#include "attack/coeff_matrix.h"
 #include "attack/critical_pixels.h"
+#include "imaging/jpeg_sim.h"
+#include "imaging/scale.h"
 
 namespace decam::attack {
+namespace {
+
+// Per-input-index coefficient mass of a 1-D resample, normalised to [0, 1]
+// by the heaviest index. |weight| so bicubic's negative lobes count as
+// influence, not cancellation.
+std::vector<double> normalized_influence(int in_size, int out_size,
+                                         ScaleAlgo algo) {
+  const CoeffMatrix m = CoeffMatrix::for_scaling(in_size, out_size, algo);
+  std::vector<double> mass(static_cast<std::size_t>(in_size), 0.0);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (const Tap& tap : m.row_taps(r)) {
+      mass[static_cast<std::size_t>(tap.index)] += std::abs(tap.weight);
+    }
+  }
+  double peak = 0.0;
+  for (double v : mass) peak = std::max(peak, v);
+  if (peak > 0.0) {
+    for (double& v : mass) v /= peak;
+  }
+  return mass;
+}
+
+}  // namespace
 
 AttackResult noise_masked_attack(const Image& source, const Image& target,
                                  const NoiseMaskOptions& options) {
@@ -30,6 +59,115 @@ AttackResult noise_masked_attack(const Image& source, const Image& target,
   result.report =
       assess_attack(result.image, source, target, options.base);
   return result;
+}
+
+Image spread_off_grid(const Image& attack_image, int target_w, int target_h,
+                      ScaleAlgo algo, double spread) {
+  DECAM_REQUIRE(spread >= 0.0 && spread <= 1.0, "spread must be in [0, 1]");
+  if (spread == 0.0) return attack_image;
+  const Image recon = resize(
+      resize(attack_image, target_w, target_h, algo), attack_image.width(),
+      attack_image.height(), algo);
+  const std::vector<double> col_influence =
+      normalized_influence(attack_image.width(), target_w, algo);
+  const std::vector<double> row_influence =
+      normalized_influence(attack_image.height(), target_h, algo);
+  Image out = attack_image;
+  for (int c = 0; c < out.channels(); ++c) {
+    for (int y = 0; y < out.height(); ++y) {
+      const double ry = row_influence[static_cast<std::size_t>(y)];
+      for (int x = 0; x < out.width(); ++x) {
+        // A pixel's pull toward the reconstruction scales with how little
+        // the scaler reads it: heavily-tapped pixels carry the payload and
+        // stay put, unread pixels take the full spread.
+        const double influence =
+            col_influence[static_cast<std::size_t>(x)] * ry;
+        const double f = spread * (1.0 - influence);
+        float& v = out.at(x, y, c);
+        const double blended =
+            static_cast<double>(v) +
+            f * (static_cast<double>(recon.at(x, y, c)) -
+                 static_cast<double>(v));
+        v = std::round(std::clamp(static_cast<float>(blended), 0.0f, 255.0f));
+      }
+    }
+  }
+  return out;
+}
+
+AttackResult off_grid_spread_attack(const Image& source, const Image& target,
+                                    const OffGridOptions& options) {
+  AttackResult result = craft_attack(source, target, options.base);
+  result.image = spread_off_grid(result.image, target.width(),
+                                 target.height(), options.base.algo,
+                                 options.spread);
+  result.report = assess_attack(result.image, source, target, options.base);
+  return result;
+}
+
+JpegRobustResult jpeg_robust_attack(const Image& source, const Image& target,
+                                    const JpegRobustOptions& options) {
+  DECAM_REQUIRE(options.quality >= 1 && options.quality <= 100,
+                "jpeg quality must be in [1, 100]");
+  DECAM_REQUIRE(options.max_rounds >= 1, "need at least one round");
+  DECAM_REQUIRE(options.step > 0.0, "compensation step must be positive");
+
+  JpegRobustResult best;
+  best.post_jpeg_linf = std::numeric_limits<double>::infinity();
+
+  // Fixed-point loop on the QP's target: craft against T_adj, recompress,
+  // measure how far the recompressed payload landed from the REAL target,
+  // and pre-compensate T_adj by that error for the next solve.
+  Image adjusted = target;
+  for (int round = 1; round <= options.max_rounds; ++round) {
+    AttackResult candidate = craft_attack(source, adjusted, options.base);
+    const Image recompressed =
+        jpeg_roundtrip(candidate.image, options.quality);
+    const Image landed = resize(recompressed, target.width(),
+                                target.height(), options.base.algo);
+    double linf = 0.0;
+    double sq_sum = 0.0;
+    for (int c = 0; c < target.channels(); ++c) {
+      for (int y = 0; y < target.height(); ++y) {
+        for (int x = 0; x < target.width(); ++x) {
+          const double err = static_cast<double>(landed.at(x, y, c)) -
+                             static_cast<double>(target.at(x, y, c));
+          linf = std::max(linf, std::abs(err));
+          sq_sum += err * err;
+        }
+      }
+    }
+    const double mse =
+        sq_sum / (static_cast<double>(target.size()));
+    if (linf < best.post_jpeg_linf) {
+      best.attack = std::move(candidate);
+      best.post_jpeg_linf = linf;
+      best.post_jpeg_mse = mse;
+      best.rounds = round;
+    }
+    if (best.post_jpeg_linf <= options.survive_linf) break;
+    if (round == options.max_rounds) break;
+    // Pre-compensate: wherever JPEG pushed the landed payload up, aim lower
+    // next round (and vice versa). Clamped to the valid intensity range.
+    for (int c = 0; c < adjusted.channels(); ++c) {
+      for (int y = 0; y < adjusted.height(); ++y) {
+        for (int x = 0; x < adjusted.width(); ++x) {
+          const double err = static_cast<double>(landed.at(x, y, c)) -
+                             static_cast<double>(target.at(x, y, c));
+          float& v = adjusted.at(x, y, c);
+          v = std::clamp(
+              static_cast<float>(static_cast<double>(v) - options.step * err),
+              0.0f, 255.0f);
+        }
+      }
+    }
+  }
+  // Report the BEST iterate against the real target (the loop assessed it
+  // against the adjusted one inside craft_attack).
+  best.attack.report =
+      assess_attack(best.attack.image, source, target, options.base);
+  best.survived = best.post_jpeg_linf <= options.survive_linf;
+  return best;
 }
 
 }  // namespace decam::attack

@@ -11,7 +11,14 @@
 namespace decam {
 namespace {
 
+// Hard ceiling on decoded pixel count (per image, all channels). Keeps a
+// 20-byte header claiming a gigapixel canvas from turning into a
+// multi-gigabyte allocation before the (missing) pixel data is even read.
+constexpr std::size_t kMaxDecodePixels = std::size_t{1} << 24;  // 16 Mpx
+
 // Skips PNM whitespace and '#' comments, then parses a decimal integer.
+// Bounded: a digit run that exceeds the largest header field any valid
+// file could carry is rejected instead of silently overflowing `int`.
 int read_pnm_int(std::istream& in, const std::string& path) {
   int ch = in.get();
   while (ch != EOF) {
@@ -25,12 +32,15 @@ int read_pnm_int(std::istream& in, const std::string& path) {
   if (ch == EOF || !std::isdigit(ch)) {
     throw IoError(path + ": malformed PNM header");
   }
-  int value = 0;
+  long value = 0;
   while (ch != EOF && std::isdigit(ch)) {
     value = value * 10 + (ch - '0');
+    if (value > static_cast<long>(kMaxDecodePixels)) {
+      throw IoError(path + ": PNM header field out of range");
+    }
     ch = in.get();
   }
-  return value;
+  return static_cast<int>(value);
 }
 
 void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
@@ -83,6 +93,10 @@ Image read_pnm(const std::string& path) {
   const int maxval = read_pnm_int(in, path);
   if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255) {
     throw IoError(path + ": unsupported PNM geometry/depth");
+  }
+  if (static_cast<std::size_t>(width) * static_cast<std::size_t>(height) >
+      kMaxDecodePixels) {
+    throw IoError(path + ": PNM image too large");
   }
   // read_pnm_int consumed the single whitespace byte after maxval already,
   // so the stream now points at the first pixel byte.
@@ -173,10 +187,19 @@ Image read_bmp(const std::string& path) {
     throw IoError(path + ": only uncompressed 24-bit BMP supported");
   }
   const bool top_down = h < 0;
-  if (top_down) h = -h;
-  if (w <= 0 || h <= 0) throw IoError(path + ": bad BMP dimensions");
+  // Negate via int64 first: h == INT32_MIN would make `-h` signed overflow.
+  const std::int64_t abs_h = top_down ? -static_cast<std::int64_t>(h) : h;
+  if (w <= 0 || abs_h <= 0 || abs_h > static_cast<std::int64_t>(kMaxDecodePixels)) {
+    throw IoError(path + ": bad BMP dimensions");
+  }
+  h = static_cast<std::int32_t>(abs_h);
+  if (static_cast<std::size_t>(w) * static_cast<std::size_t>(h) >
+      kMaxDecodePixels) {
+    throw IoError(path + ": BMP image too large");
+  }
   const std::size_t row_stride = (static_cast<std::size_t>(w) * 3 + 3) & ~std::size_t{3};
-  if (buf.size() < data_offset + row_stride * static_cast<std::size_t>(h)) {
+  if (buf.size() < data_offset ||
+      buf.size() - data_offset < row_stride * static_cast<std::size_t>(h)) {
     throw IoError(path + ": truncated BMP pixel data");
   }
   Image img(w, h, 3);

@@ -1,0 +1,262 @@
+// Regression wall for the adaptive-attack story quantified by
+// bench/matrix_adaptive (ISSUE 10): the off-grid spread measurably erodes
+// the single detectors it targets (and outright defeats the weak histogram
+// baseline at full strength), the JPEG-robust fixed point actually survives
+// recompression, and yet the calibrated three-method ensemble stays above a
+// checked-in accuracy floor. If a refactor of the attack, defense, or
+// detector code shifts any of these cliffs, this suite fails before the
+// slow bench ever runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/adaptive.h"
+#include "core/calibration.h"
+#include "core/filtering_detector.h"
+#include "core/histogram_detector.h"
+#include "core/scaling_detector.h"
+#include "core/steganalysis_detector.h"
+#include "data/rng.h"
+#include "data/synth.h"
+#include "imaging/jpeg_sim.h"
+#include "metrics/mse.h"
+
+namespace decam {
+namespace {
+
+constexpr int kSceneSide = 128;
+constexpr int kTargetSide = 32;
+
+Image make_scene(std::uint64_t seed) {
+  data::SceneParams params = data::scene_params(data::Regime::A);
+  params.min_side = params.max_side = kSceneSide;
+  data::Rng rng(seed);
+  return generate_scene(params, rng);
+}
+
+attack::AttackOptions base_options() {
+  attack::AttackOptions options;
+  options.algo = ScaleAlgo::Bilinear;
+  options.eps = 2.0;
+  return options;
+}
+
+// The QP solve is the expensive part; every test shares one crafted family.
+struct SharedAttacks {
+  Image scene;
+  Image target;
+  attack::AttackResult plain;
+  Image offgrid_07;  // the matrix bench's default spread
+  Image offgrid_10;  // full strength: maximal evasion, degraded payload
+};
+
+const SharedAttacks& shared() {
+  static const SharedAttacks* cached = [] {
+    auto* s = new SharedAttacks();
+    s->scene = make_scene(43);
+    data::Rng target_rng(44);
+    s->target = data::generate_target(kTargetSide, kTargetSide, target_rng);
+    s->plain = attack::craft_attack(s->scene, s->target, base_options());
+    s->offgrid_07 = attack::spread_off_grid(
+        s->plain.image, kTargetSide, kTargetSide, ScaleAlgo::Bilinear, 0.7);
+    s->offgrid_10 = attack::spread_off_grid(
+        s->plain.image, kTargetSide, kTargetSide, ScaleAlgo::Bilinear, 1.0);
+    return s;
+  }();
+  return *cached;
+}
+
+core::ScalingDetector make_scaling() {
+  core::ScalingDetectorConfig config;
+  config.down_width = config.down_height = kTargetSide;
+  config.metric = core::Metric::MSE;
+  return core::ScalingDetector{config};
+}
+
+core::HistogramDetector make_histogram() {
+  core::HistogramDetectorConfig config;
+  config.down_width = config.down_height = kTargetSide;
+  return core::HistogramDetector{config};
+}
+
+TEST(OffGridSpread, ErodesScalingEvidenceButKeepsThePayload) {
+  const SharedAttacks& s = shared();
+  const core::ScalingDetector scaling = make_scaling();
+  const double plain_score = scaling.score(s.plain.image);
+  const double spread_score = scaling.score(s.offgrid_07);
+  // At the matrix default (0.7) the round-trip MSE collapses by well over
+  // 4x (measured: ~6600 -> ~700) — exactly the evasion the matrix records
+  // as scaling/mse accuracy falling to chance.
+  EXPECT_LT(spread_score, 0.25 * plain_score);
+  // ... while the payload still lands: the downscale of the spread attack
+  // stays close to the target (the scaler's heavy taps were left alone).
+  const Image seen =
+      resize(s.offgrid_07, kTargetSide, kTargetSide, ScaleAlgo::Bilinear);
+  EXPECT_LT(mse(seen, s.target), 150.0);
+}
+
+TEST(OffGridSpread, MovesFilteringScoreTowardBenign) {
+  const SharedAttacks& s = shared();
+  core::FilteringDetectorConfig config;
+  config.metric = core::Metric::SSIM;
+  const core::FilteringDetector filtering{config};
+  // LowIsAttack polarity: a RISING min-filter SSIM is evasion progress.
+  const double plain_score = filtering.score(s.plain.image);
+  const double spread_score = filtering.score(s.offgrid_07);
+  const double benign_score = filtering.score(s.scene);
+  EXPECT_GT(spread_score, plain_score);
+  EXPECT_GT(benign_score, spread_score);  // not fully benign-like yet
+}
+
+TEST(OffGridSpread, DefeatsTheHistogramBaselineOutright) {
+  const SharedAttacks& s = shared();
+  const core::HistogramDetector histogram = make_histogram();
+  const double plain_score = histogram.score(s.plain.image);
+  const double spread_score = histogram.score(s.offgrid_07);
+  const double full_score = histogram.score(s.offgrid_10);
+  const double benign_score = histogram.score(s.scene);
+  // The margin Xiao's heuristic relies on shrinks monotonically with
+  // spread...
+  EXPECT_GT(spread_score, plain_score);
+  EXPECT_GT(full_score, spread_score);
+  // ... and at full strength the attack crosses the midpoint of a
+  // plain-calibrated split (measured: ~0.58 vs threshold ~0.53) — the weak
+  // baseline is not merely degraded, it votes "benign".
+  const double plain_trained_threshold = (plain_score + benign_score) / 2.0;
+  EXPECT_GT(full_score, plain_trained_threshold);
+}
+
+TEST(OffGridSpread, EnsembleAccuracyHoldsAboveTheFloor) {
+  // Mini white-box matrix column, mirroring bench/matrix_adaptive's
+  // defense="none" protocol: calibrate each method on PLAIN train attacks,
+  // evaluate on OFF-GRID eval attacks. The adaptive move halves the scaling
+  // method's accuracy, but the ensemble floor holds.
+  constexpr int kTrain = 5;
+  constexpr int kEval = 5;
+  const attack::AttackOptions options = base_options();
+
+  std::vector<double> train_benign_scaling, train_attack_scaling;
+  std::vector<double> train_benign_filter, train_attack_filter;
+  std::vector<double> train_benign_csp, train_attack_csp;
+  const core::ScalingDetector scaling = make_scaling();
+  core::FilteringDetectorConfig filter_config;
+  filter_config.metric = core::Metric::SSIM;
+  const core::FilteringDetector filtering{filter_config};
+  const core::SteganalysisDetector steganalysis{};
+
+  for (int i = 0; i < kTrain; ++i) {
+    const Image scene = make_scene(100 + static_cast<std::uint64_t>(i));
+    data::Rng target_rng(200 + static_cast<std::uint64_t>(i));
+    const Image target =
+        data::generate_target(kTargetSide, kTargetSide, target_rng);
+    const Image attack = attack::craft_attack(scene, target, options).image;
+    train_benign_scaling.push_back(scaling.score(scene));
+    train_attack_scaling.push_back(scaling.score(attack));
+    train_benign_filter.push_back(filtering.score(scene));
+    train_attack_filter.push_back(filtering.score(attack));
+    train_benign_csp.push_back(steganalysis.score(scene));
+    train_attack_csp.push_back(steganalysis.score(attack));
+  }
+  const core::Calibration cal_scaling =
+      core::calibrate_white_box(train_benign_scaling, train_attack_scaling)
+          .calibration;
+  const core::Calibration cal_filter =
+      core::calibrate_white_box(train_benign_filter, train_attack_filter)
+          .calibration;
+  const core::Calibration cal_csp =
+      core::calibrate_white_box(train_benign_csp, train_attack_csp)
+          .calibration;
+
+  int correct_ensemble = 0;
+  int correct_scaling = 0;
+  int total = 0;
+  const auto judge = [&](const Image& img, bool is_attack_image) {
+    const bool vote_scaling =
+        core::is_attack(scaling.score(img), cal_scaling);
+    const bool vote_filter =
+        core::is_attack(filtering.score(img), cal_filter);
+    const bool vote_csp = core::is_attack(steganalysis.score(img), cal_csp);
+    const int votes = (vote_scaling ? 1 : 0) + (vote_filter ? 1 : 0) +
+                      (vote_csp ? 1 : 0);
+    correct_ensemble += ((votes >= 2) == is_attack_image) ? 1 : 0;
+    correct_scaling += (vote_scaling == is_attack_image) ? 1 : 0;
+    ++total;
+  };
+  for (int i = 0; i < kEval; ++i) {
+    const Image scene = make_scene(300 + static_cast<std::uint64_t>(i));
+    data::Rng target_rng(400 + static_cast<std::uint64_t>(i));
+    const Image target =
+        data::generate_target(kTargetSide, kTargetSide, target_rng);
+    attack::OffGridOptions adaptive;
+    adaptive.base = options;
+    adaptive.spread = 0.7;
+    judge(attack::off_grid_spread_attack(scene, target, adaptive).image,
+          /*is_attack_image=*/true);
+    judge(scene, /*is_attack_image=*/false);
+  }
+  ASSERT_EQ(total, 2 * kEval);
+  // The checked-in floor: >= 80% on this grid (the quick matrix measures
+  // 0.94 at n=8; the floor leaves one misjudged pair of slack).
+  EXPECT_GE(correct_ensemble, (2 * kEval) * 8 / 10);
+  // And the single scaling method must do measurably WORSE than the
+  // ensemble here — that asymmetry is the whole point of the matrix.
+  EXPECT_LT(correct_scaling, correct_ensemble);
+}
+
+TEST(JpegRobust, SurvivesRecompressionWherePlainAttackDies) {
+  const SharedAttacks& s = shared();
+  attack::JpegRobustOptions options;
+  options.base = base_options();
+  // At this geometry q75 barely dents the payload; quality 30 is where the
+  // vanilla attack demonstrably dies (measured linf ~33 vs the 24 bound)
+  // and the fixed point has real work to do (converges to ~22 in 3 rounds).
+  options.quality = 30;
+
+  // The plain attack's payload is destroyed by JPEG at the same quality.
+  const Image plain_jpeg = jpeg_roundtrip(s.plain.image, options.quality);
+  const Image plain_landed =
+      resize(plain_jpeg, kTargetSide, kTargetSide, ScaleAlgo::Bilinear);
+  double plain_linf = 0.0;
+  for (int c = 0; c < s.target.channels(); ++c) {
+    for (int y = 0; y < kTargetSide; ++y) {
+      for (int x = 0; x < kTargetSide; ++x) {
+        plain_linf = std::max(
+            plain_linf, static_cast<double>(std::abs(
+                            plain_landed.at(x, y, c) - s.target.at(x, y, c))));
+      }
+    }
+  }
+  EXPECT_GT(plain_linf, options.survive_linf);  // vanilla payload dies
+
+  const attack::JpegRobustResult robust =
+      attack::jpeg_robust_attack(s.scene, s.target, options);
+  EXPECT_TRUE(robust.survived);
+  EXPECT_LE(robust.post_jpeg_linf, options.survive_linf);
+  EXPECT_LT(robust.post_jpeg_linf, plain_linf);
+  EXPECT_GE(robust.rounds, 1);
+  EXPECT_LE(robust.rounds, options.max_rounds);
+}
+
+TEST(SpreadOffGrid, ValidatesAndIsMonotoneInSpread) {
+  const SharedAttacks& s = shared();
+  EXPECT_THROW(attack::spread_off_grid(s.plain.image, kTargetSide,
+                                       kTargetSide, ScaleAlgo::Bilinear, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(attack::spread_off_grid(s.plain.image, kTargetSide,
+                                       kTargetSide, ScaleAlgo::Bilinear, 1.5),
+               std::invalid_argument);
+  const Image zero = attack::spread_off_grid(
+      s.plain.image, kTargetSide, kTargetSide, ScaleAlgo::Bilinear, 0.0);
+  EXPECT_DOUBLE_EQ(mse(zero, s.plain.image), 0.0);
+
+  const core::ScalingDetector scaling = make_scaling();
+  const double at_plain = scaling.score(s.plain.image);
+  const double at_07 = scaling.score(s.offgrid_07);
+  const double at_10 = scaling.score(s.offgrid_10);
+  EXPECT_GT(at_plain, at_07);
+  EXPECT_GT(at_07, at_10);
+}
+
+}  // namespace
+}  // namespace decam
